@@ -1,0 +1,25 @@
+# Development entry points for the ADAssure reproduction.
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . || pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every evaluation table/figure at full size (a few minutes).
+experiments:
+	python -m repro.cli experiment all | tee experiments_full_output.txt
+
+examples:
+	@set -e; for f in examples/*.py; do \
+		echo "== $$f"; python $$f > /dev/null && echo "   ok"; \
+	done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,15 @@
+"""Bench E10 (extension) — Table 6: innovation-gated EKF mitigation."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_mitigation_table
+
+
+def test_e10_mitigation(benchmark, quick_config):
+    table = run_and_print(benchmark, build_mitigation_table, quick_config)
+    rows = {r[0]: r for r in table.rows}
+    # Extension-shape claims: the gate is free when nominal, neutralizes
+    # the freeze attack, and cannot stop the slow drift.
+    assert float(rows["none"][3]) >= 0.95
+    assert float(rows["gps_freeze"][3]) < 0.25
+    assert float(rows["gps_drift"][3]) > 0.9

@@ -1,0 +1,24 @@
+"""Bench E13 (extension) — Table 9: controller-defect debugging."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_defect_debugging
+
+
+def test_e13_defect_debugging(benchmark, quick_config):
+    table = run_and_print(benchmark, build_defect_debugging, quick_config)
+    rows = {r[0]: r for r in table.rows}
+
+    def frac(cell):
+        num, den = cell.split()[0].split("/")
+        return int(num) / int(den)
+
+    # Extension-shape claims: no false positives on the healthy controller,
+    # every defect detected and identified within the regression set, and
+    # the deadband defect (the gap that motivated A20) caught via A20.
+    assert frac(rows["none"][2]) == 0.0
+    for defect in ("ctrl_gain_error", "ctrl_sign_flip", "ctrl_stale_input",
+                   "ctrl_deadband", "ctrl_saturation"):
+        assert frac(rows[defect][2]) == 1.0, f"{defect} undetected"
+        assert frac(rows[defect][3]) == 1.0, f"{defect} misidentified"
+    assert "A20" in rows["ctrl_deadband"][4]

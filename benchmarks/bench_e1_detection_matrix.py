@@ -1,0 +1,17 @@
+"""Bench E1 — Table 1: assertion/attack detection matrix."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_detection_matrix
+from repro.experiments.config import STANDARD_ATTACKS
+
+
+def test_e1_detection_matrix(benchmark, quick_config):
+    table = run_and_print(benchmark, build_detection_matrix, quick_config)
+    detected = dict(zip(table.column_values("attack"),
+                        table.column_values("detected")))
+    # Paper-shape claims: zero nominal false positives, full detection.
+    assert detected["none"].startswith("0/")
+    for attack in STANDARD_ATTACKS:
+        n = detected[attack].split("/")[1]
+        assert detected[attack] == f"{n}/{n}", f"{attack} not fully detected"

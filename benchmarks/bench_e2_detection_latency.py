@@ -1,0 +1,19 @@
+"""Bench E2 — Table 2: detection latency per attack class."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_latency_table
+
+
+def test_e2_detection_latency(benchmark, quick_config):
+    table = run_and_print(benchmark, build_latency_table, quick_config)
+    rows = {r[0]: r for r in table.rows}
+    # Paper-shape claim: for the jump-and-hold GPS spoof, consistency
+    # assertions detect no later than behavioural ones.
+    row = rows["gps_bias"]
+    consistency = float(row[2])
+    behaviour = float(row[3]) if row[3] != "-" else float("inf")
+    assert consistency <= behaviour
+    # Every attack class has a finite overall latency.
+    for attack, row in rows.items():
+        assert row[1] != "-", f"{attack} never detected"

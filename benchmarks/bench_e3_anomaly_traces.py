@@ -1,0 +1,17 @@
+"""Bench E3 — Figure 2: cross-track error traces, nominal vs. attacked."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_anomaly_traces
+
+
+def test_e3_anomaly_traces(benchmark, quick_config):
+    tables = run_and_print(benchmark, build_anomaly_traces, quick_config)
+    assert len(tables) == len(quick_config.trace_scenarios)
+    # Paper-shape claim: by the end of the run the attacked |cte| exceeds
+    # the nominal |cte| for the first controller.
+    table = tables[0]
+    for row in reversed(table.rows):
+        if row[1] != "-" and row[2] != "-":
+            assert float(row[2]) > float(row[1])
+            break

@@ -1,0 +1,16 @@
+"""Bench E4 — Table 3: root-cause diagnosis accuracy."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_diagnosis_accuracy
+
+
+def test_e4_diagnosis_accuracy(benchmark, quick_config):
+    table = run_and_print(benchmark, build_diagnosis_accuracy, quick_config)
+    total = table.rows[-1]
+    assert total[0] == "TOTAL"
+    top1_num, top1_den = total[2].split()[0].split("/")
+    top2_num, top2_den = total[3].split()[0].split("/")
+    # Paper-shape claims: strong top-1, near-total top-2.
+    assert int(top1_num) / int(top1_den) >= 0.7
+    assert int(top2_num) / int(top2_den) >= int(top1_num) / int(top1_den)

@@ -1,0 +1,16 @@
+"""Bench E6 — Figure 3: attack-intensity sweep (detectability vs. harm)."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_intensity_sweep
+
+
+def test_e6_intensity_sweep(benchmark, quick_config):
+    table = run_and_print(benchmark, build_intensity_sweep, quick_config)
+    rows = [r for r in table.rows if r[0] == "gps_bias"]
+    rates = [int(r[2].split("/")[0]) for r in rows]
+    damages = [float(r[4]) for r in rows]
+    # Paper-shape claims: detection rate is monotone in intensity and
+    # damage grows with intensity.
+    assert all(b >= a for a, b in zip(rates, rates[1:]))
+    assert damages[-1] > damages[0]

@@ -1,0 +1,15 @@
+"""Bench E7 — Figure 4: online monitor overhead per step."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_monitor_overhead
+
+
+def test_e7_monitor_overhead(benchmark, quick_config):
+    table = run_and_print(benchmark, build_monitor_overhead, quick_config)
+    per_step = [float(r[1]) for r in table.rows]
+    pct_full = float(table.rows[-1][2])
+    # Paper-shape claims: cost grows with assertion count and the full
+    # catalog stays a small fraction of the 50 ms control period.
+    assert per_step[-1] >= per_step[0]
+    assert pct_full < 20.0

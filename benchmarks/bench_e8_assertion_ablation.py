@@ -1,0 +1,15 @@
+"""Bench E8 — Table 5: assertion-set ablation for diagnosis."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_assertion_ablation
+
+
+def test_e8_assertion_ablation(benchmark, quick_config):
+    table = run_and_print(benchmark, build_assertion_ablation, quick_config)
+    top1 = [int(r[3].split("/")[0]) for r in table.rows]
+    # Paper-shape claim: the full catalog diagnoses at least as well as
+    # the behaviour-only subset, and strictly better somewhere along the
+    # staged growth.
+    assert top1[-1] >= top1[0]
+    assert top1[-1] > top1[0] or top1[0] == int(table.rows[0][2].split("/")[1])

@@ -1,0 +1,28 @@
+"""Benchmark suite configuration.
+
+Each ``bench_e*.py`` regenerates one evaluation artifact (table/figure)
+under the *quick* experiment config and prints it, so ``pytest benchmarks/
+--benchmark-only`` both times the harness and reproduces every artifact's
+qualitative shape.  Full-size tables: ``adassure experiment all``.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig.quick()
+
+
+def run_and_print(benchmark, builder, config):
+    """Benchmark one experiment builder (single round) and print it."""
+    result = benchmark.pedantic(builder, args=(config,), rounds=1,
+                                iterations=1)
+    tables = result if isinstance(result, list) else [result]
+    print()
+    for table in tables:
+        print(table.render())
+        print()
+    return result

@@ -1,0 +1,43 @@
+"""Controller robustness comparison under a GPS spoofing attack.
+
+Runs all four lateral controllers on the s-curve, nominally and under the
+GPS drift spoof, and compares tracking quality — showing that the shared
+state estimator (not the control law) dominates attack vulnerability,
+which is why ADAssure debugs the whole loop.
+
+Run:  python examples/controller_comparison.py
+"""
+
+from repro import run_scenario, standard_attack, standard_scenarios
+
+CONTROLLERS = ["pure_pursuit", "stanley", "lqr", "mpc"]
+
+
+def main() -> None:
+    scenario = standard_scenarios(seed=7)["s_curve"]
+    print(f"scenario: {scenario.name}, attack: gps_drift at t=15 s\n")
+    header = (f"{'controller':<13} {'condition':<9} {'mean|cte|':>10} "
+              f"{'max|cte|':>9} {'steer rms':>10} {'goal':>6}")
+    print(header)
+    print("-" * len(header))
+
+    for controller in CONTROLLERS:
+        for label, campaign in (
+            ("nominal", standard_attack("none")),
+            ("attacked", standard_attack("gps_drift", onset=15.0)),
+        ):
+            result = run_scenario(scenario, controller=controller,
+                                  campaign=campaign)
+            m = result.metrics
+            print(f"{controller:<13} {label:<9} {m.mean_abs_cte:>9.2f}m "
+                  f"{m.max_abs_cte:>8.2f}m {m.steer_rms:>9.3f} "
+                  f"{'yes' if m.goal_reached else 'no':>6}")
+        print()
+
+    print("observation: every controller tracks well nominally and every "
+          "controller is dragged off the lane by the same spoofed estimate "
+          "- the attack must be caught at the sensor-consistency level.")
+
+
+if __name__ == "__main__":
+    main()

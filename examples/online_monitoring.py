@@ -1,0 +1,82 @@
+"""Online monitoring through the CARLA-style API.
+
+Drives a vehicle through the carla_lite facade (the same interaction shape
+as the paper's CARLA Python tooling), assembles trace records on the fly
+from sensor callbacks, and streams them into the online monitor — printing
+each violation the moment its episode closes, as an on-vehicle watchdog
+would.
+
+Run:  python examples/online_monitoring.py
+"""
+
+import math
+
+from repro.carla_lite import Transform, VehicleControl, World
+from repro.core import OnlineMonitor, default_catalog
+from repro.trace.schema import TraceRecord
+
+DT = 0.05
+GYRO_BIAS_ONSET_S = 10.0
+GYRO_BIAS_END_S = 20.0
+GYRO_BIAS = 0.08  # rad/s injected into the IMU stream mid-run
+
+
+def main() -> None:
+    world = World(dt=DT, seed=3)
+    ego = world.spawn_vehicle(Transform(0.0, 0.0, 0.0))
+
+    latest = {}
+    world.spawn_sensor("sensor.other.gnss").listen(
+        lambda fix: latest.__setitem__("gps", fix))
+    world.spawn_sensor("sensor.other.imu").listen(
+        lambda r: latest.__setitem__("imu", r))
+    world.spawn_sensor("sensor.other.wheel_odometry").listen(
+        lambda r: latest.__setitem__("odom", r))
+    world.spawn_sensor("sensor.other.compass").listen(
+        lambda r: latest.__setitem__("compass", r))
+
+    # Monitor only the channels this minimal loop populates.
+    monitor = OnlineMonitor(default_catalog(("A5", "A6", "A7", "A8")))
+    print("driving straight with cruise throttle; injecting an IMU gyro "
+          f"bias during t=[{GYRO_BIAS_ONSET_S:.0f}, {GYRO_BIAS_END_S:.0f}] "
+          "s ...\n")
+
+    violations = 0
+    for step in range(int(30.0 / DT)):
+        t = world.time
+        ego.apply_control(VehicleControl(throttle=0.35))
+        world.tick()
+
+        imu_rate = latest["imu"].yaw_rate if "imu" in latest else 0.0
+        if GYRO_BIAS_ONSET_S <= t < GYRO_BIAS_END_S:
+            imu_rate += GYRO_BIAS  # the attack, at the message level
+
+        record = TraceRecord(
+            step=step,
+            t=t,
+            gps_x=latest["gps"].x if "gps" in latest else 0.0,
+            gps_y=latest["gps"].y if "gps" in latest else 0.0,
+            gps_fresh="gps" in latest and latest["gps"].t == t,
+            imu_yaw_rate=imu_rate,
+            imu_fresh=True,
+            odom_speed=latest["odom"].speed if "odom" in latest else 0.0,
+            odom_fresh="odom" in latest,
+            compass_yaw=latest["compass"].yaw if "compass" in latest else 0.0,
+            compass_fresh="compass" in latest,
+        )
+        for violation in monitor.feed(record):
+            violations += 1
+            print(f"  [t={t:5.1f} s] VIOLATION {violation.assertion_id} "
+                  f"({violation.name}), severity {violation.severity:.2f}")
+
+    report = monitor.finish()
+    print(f"\nrun complete: {violations} violation episode(s) streamed, "
+          f"fired assertions: {report.fired_ids}")
+    expected = "A8" in report.fired_ids
+    print("the IMU/compass consistency assertion caught the gyro bias: "
+          f"{'yes' if expected else 'no'}")
+    assert math.isclose(world.time, 30.0, abs_tol=1e-6)
+
+
+if __name__ == "__main__":
+    main()

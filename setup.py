@@ -1,0 +1,10 @@
+"""Setuptools shim for offline editable installs.
+
+The canonical metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on machines without the ``wheel``
+package (fully offline environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Attack and fault injection.
+
+Attacks sit man-in-the-middle between sensors and the estimator (sensor
+channels) or between the controller and the actuators (command channel) —
+the positions a compromised ECU, spoofer, or bus attacker occupies on a
+real vehicle.  Each attack carries a scheduling window and transforms the
+messages of exactly one channel; the engine records exact ground-truth
+labels, which is what lets the experiments score detection and diagnosis.
+"""
+
+from repro.attacks.actuator import SteeringOffsetAttack, SteeringStuckAttack
+from repro.attacks.base import Attack, AttackWindow
+from repro.attacks.campaign import (
+    ATTACK_CLASSES,
+    AttackCampaign,
+    combined_attack,
+    make_attack,
+    standard_attack,
+)
+from repro.attacks.channel import CommandDelayAttack, CommandDropAttack
+from repro.attacks.compass import CompassOffsetAttack
+from repro.attacks.gps import (
+    GpsBiasAttack,
+    GpsDriftAttack,
+    GpsFreezeAttack,
+    GpsNoiseAttack,
+    GpsReplayAttack,
+)
+from repro.attacks.imu import ImuAccelBiasAttack, ImuGyroBiasAttack
+from repro.attacks.odometry import OdometryScaleAttack
+from repro.attacks.radar import (
+    RadarBlindAttack,
+    RadarGhostAttack,
+    RadarRangeScaleAttack,
+)
+
+__all__ = [
+    "Attack",
+    "AttackWindow",
+    "GpsBiasAttack",
+    "GpsDriftAttack",
+    "GpsFreezeAttack",
+    "GpsNoiseAttack",
+    "GpsReplayAttack",
+    "ImuGyroBiasAttack",
+    "ImuAccelBiasAttack",
+    "OdometryScaleAttack",
+    "CompassOffsetAttack",
+    "SteeringOffsetAttack",
+    "SteeringStuckAttack",
+    "RadarRangeScaleAttack",
+    "RadarGhostAttack",
+    "RadarBlindAttack",
+    "CommandDropAttack",
+    "CommandDelayAttack",
+    "AttackCampaign",
+    "ATTACK_CLASSES",
+    "make_attack",
+    "standard_attack",
+    "combined_attack",
+]

@@ -1,0 +1,46 @@
+"""Actuator-side attacks: tampering between controller and steering rack."""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+
+__all__ = ["SteeringOffsetAttack", "SteeringStuckAttack"]
+
+
+class SteeringOffsetAttack(Attack):
+    """Adds a constant offset to the steering command (compromised EPS).
+
+    The controller keeps commanding correct angles; the wheels receive a
+    shifted one.  The closed loop partially compensates, which is exactly
+    why this fault is hard to spot from behaviour alone and needs the
+    actuation-consistency assertion (A16).
+    """
+
+    name = "steer_offset"
+    channel = "command"
+
+    def __init__(self, offset: float = 0.05, window: AttackWindow | None = None):
+        super().__init__(window)
+        self.offset = offset
+
+    def on_command(self, t: float, steer: float, accel: float) -> tuple[float, float]:
+        return (steer + self.offset, accel)
+
+
+class SteeringStuckAttack(Attack):
+    """Holds the steering at the value seen at attack onset."""
+
+    name = "steer_stuck"
+    channel = "command"
+
+    def __init__(self, window: AttackWindow | None = None):
+        super().__init__(window)
+        self._held: float | None = None
+
+    def reset(self) -> None:
+        self._held = None
+
+    def on_command(self, t: float, steer: float, accel: float) -> tuple[float, float]:
+        if self._held is None:
+            self._held = steer
+        return (self._held, accel)

@@ -1,0 +1,101 @@
+"""Attack base class: scheduling window + per-channel message hooks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported for annotations only; avoids a package cycle
+    from repro.sim.sensors.compass import CompassReading
+    from repro.sim.sensors.gps import GpsFix
+    from repro.sim.sensors.imu import ImuReading
+    from repro.sim.sensors.odometry import OdometryReading
+    from repro.sim.sensors.radar import RadarReading
+
+__all__ = ["AttackWindow", "Attack"]
+
+
+@dataclass(frozen=True, slots=True)
+class AttackWindow:
+    """Half-open activation interval ``[start, end)`` in seconds."""
+
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("attack window end must be after start")
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def elapsed(self, t: float) -> float:
+        """Time since attack onset (0 before onset)."""
+        return max(t - self.start, 0.0)
+
+
+class Attack:
+    """A scheduled message-level attack on one channel.
+
+    Subclasses set :attr:`channel` and override the hook for that channel;
+    every hook defaults to pass-through so an attack never perturbs other
+    channels.  A hook returning ``None`` drops the message (denial of
+    service).  Stochastic attacks receive a generator via :meth:`bind_rng`.
+    """
+
+    name: str = "attack"
+    channel: str = "none"
+
+    def __init__(self, window: AttackWindow | None = None):
+        self.window = window or AttackWindow()
+        self.rng: np.random.Generator | None = None
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        """Attach the attack's private randomness stream (engine calls this)."""
+        self.rng = rng
+
+    def reset(self) -> None:
+        """Clear per-run internal state (replay buffers etc.)."""
+
+    def active(self, t: float) -> bool:
+        return self.window.contains(t)
+
+    # ------------------------------------------------------------------
+    # Channel hooks (identity by default).  Hooks are only invoked while
+    # the attack is active.
+    # ------------------------------------------------------------------
+    def on_gps(self, t: float, fix: GpsFix) -> GpsFix | None:
+        return fix
+
+    def on_imu(self, t: float, reading: ImuReading) -> ImuReading | None:
+        return reading
+
+    def on_odometry(self, t: float, reading: OdometryReading) -> OdometryReading | None:
+        return reading
+
+    def on_compass(self, t: float, reading: CompassReading) -> CompassReading | None:
+        return reading
+
+    def on_radar(self, t: float, reading: RadarReading) -> RadarReading | None:
+        return reading
+
+    def on_command(
+        self, t: float, steer: float, accel: float
+    ) -> tuple[float, float] | None:
+        return (steer, accel)
+
+    # ------------------------------------------------------------------
+    # Observation hooks: called even while inactive, so replay/freeze
+    # attacks can fill their buffers with pre-attack traffic.
+    # ------------------------------------------------------------------
+    def observe_gps(self, t: float, fix: GpsFix) -> None:
+        """See every (pre-attack-window) GPS fix; default ignores it."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, channel={self.channel!r}, "
+            f"window=[{self.window.start}, {self.window.end}))"
+        )

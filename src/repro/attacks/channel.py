@@ -1,0 +1,63 @@
+"""Message-channel attacks on the control command link (DoS / delay)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.attacks.base import Attack, AttackWindow
+
+__all__ = ["CommandDropAttack", "CommandDelayAttack"]
+
+
+class CommandDropAttack(Attack):
+    """Drops control commands with a given probability (bus flooding DoS).
+
+    A dropped command means the actuators keep their previous setpoint —
+    the standard hold-last-value failure semantics of a CAN-based loop.
+    """
+
+    name = "cmd_drop"
+    channel = "command"
+
+    def __init__(self, drop_prob: float = 0.5, window: AttackWindow | None = None):
+        super().__init__(window)
+        if not 0.0 < drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in (0, 1]")
+        self.drop_prob = drop_prob
+
+    def on_command(
+        self, t: float, steer: float, accel: float
+    ) -> tuple[float, float] | None:
+        if self.rng is None:
+            raise RuntimeError("CommandDropAttack requires bind_rng() before use")
+        if self.rng.random() < self.drop_prob:
+            return None
+        return (steer, accel)
+
+
+class CommandDelayAttack(Attack):
+    """Delays control commands by a fixed number of control periods.
+
+    Extra latency in the actuation path destabilizes tightly tuned lateral
+    loops — the oscillation signature assertion A11 looks for.
+    """
+
+    name = "cmd_delay"
+    channel = "command"
+
+    def __init__(self, delay_steps: int = 6, window: AttackWindow | None = None):
+        super().__init__(window)
+        if delay_steps < 1:
+            raise ValueError("delay_steps must be >= 1")
+        self.delay_steps = delay_steps
+        self._queue: deque[tuple[float, float]] = deque()
+
+    def reset(self) -> None:
+        self._queue.clear()
+
+    def on_command(self, t: float, steer: float, accel: float) -> tuple[float, float]:
+        self._queue.append((steer, accel))
+        if len(self._queue) <= self.delay_steps:
+            # Not enough backlog yet: hold the oldest known command.
+            return self._queue[0]
+        return self._queue.popleft()

@@ -1,0 +1,22 @@
+"""Compass/heading attacks: rotated absolute-heading messages."""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+from repro.sim.sensors.compass import CompassReading
+
+__all__ = ["CompassOffsetAttack"]
+
+
+class CompassOffsetAttack(Attack):
+    """Adds a constant rotation to reported headings (magnetic spoof)."""
+
+    name = "compass_offset"
+    channel = "compass"
+
+    def __init__(self, offset: float = 0.2, window: AttackWindow | None = None):
+        super().__init__(window)
+        self.offset = offset
+
+    def on_compass(self, t: float, reading: CompassReading) -> CompassReading:
+        return reading.rotated(self.offset)

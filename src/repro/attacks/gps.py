@@ -1,0 +1,144 @@
+"""GNSS spoofing and jamming attacks.
+
+These model the attack family the paper's authors study on their research
+vehicle: a spoofer that shifts, drags, freezes, replays or degrades the
+GNSS solution.  All attacks transform :class:`~repro.sim.sensors.gps.GpsFix`
+messages in flight.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+from repro.sim.sensors.gps import GpsFix
+
+__all__ = [
+    "GpsBiasAttack",
+    "GpsDriftAttack",
+    "GpsFreezeAttack",
+    "GpsReplayAttack",
+    "GpsNoiseAttack",
+]
+
+
+class GpsBiasAttack(Attack):
+    """Constant position offset from attack onset (jump-and-hold spoof)."""
+
+    name = "gps_bias"
+    channel = "gps"
+
+    def __init__(self, offset_x: float, offset_y: float,
+                 window: AttackWindow | None = None):
+        super().__init__(window)
+        self.offset_x = offset_x
+        self.offset_y = offset_y
+
+    @property
+    def magnitude(self) -> float:
+        import math
+
+        return math.hypot(self.offset_x, self.offset_y)
+
+    def on_gps(self, t: float, fix: GpsFix) -> GpsFix:
+        return fix.offset(self.offset_x, self.offset_y)
+
+
+class GpsDriftAttack(Attack):
+    """Slowly ramping offset (the stealthy 'drag-away' spoof).
+
+    The offset grows linearly at ``(rate_x, rate_y)`` m/s from onset, which
+    keeps each individual fix plausible — the attack the paper's
+    consistency assertions are designed to catch early.
+    """
+
+    name = "gps_drift"
+    channel = "gps"
+
+    def __init__(self, rate_x: float, rate_y: float,
+                 window: AttackWindow | None = None):
+        super().__init__(window)
+        self.rate_x = rate_x
+        self.rate_y = rate_y
+
+    def on_gps(self, t: float, fix: GpsFix) -> GpsFix:
+        dt = self.window.elapsed(t)
+        return fix.offset(self.rate_x * dt, self.rate_y * dt)
+
+
+class GpsFreezeAttack(Attack):
+    """Replays the last pre-onset fix forever (stuck GNSS solution)."""
+
+    name = "gps_freeze"
+    channel = "gps"
+
+    def __init__(self, window: AttackWindow | None = None):
+        super().__init__(window)
+        self._frozen: GpsFix | None = None
+
+    def reset(self) -> None:
+        self._frozen = None
+
+    def observe_gps(self, t: float, fix: GpsFix) -> None:
+        if not self.active(t):
+            self._frozen = fix
+
+    def on_gps(self, t: float, fix: GpsFix) -> GpsFix:
+        if self._frozen is None:
+            # Attack started before the first fix; freeze the first one seen.
+            self._frozen = fix
+        return GpsFix(t=fix.t, x=self._frozen.x, y=self._frozen.y)
+
+
+class GpsReplayAttack(Attack):
+    """Replays fixes recorded ``delay`` seconds in the past."""
+
+    name = "gps_replay"
+    channel = "gps"
+
+    def __init__(self, delay: float = 5.0, window: AttackWindow | None = None):
+        super().__init__(window)
+        if delay <= 0:
+            raise ValueError("replay delay must be positive")
+        self.delay = delay
+        self._buffer: list[GpsFix] = []
+
+    def reset(self) -> None:
+        self._buffer = []
+
+    def observe_gps(self, t: float, fix: GpsFix) -> None:
+        self._buffer.append(fix)
+        # Trim anything older than needed to bound memory.
+        cutoff = t - 2.0 * self.delay
+        while self._buffer and self._buffer[0].t < cutoff:
+            self._buffer.pop(0)
+
+    def on_gps(self, t: float, fix: GpsFix) -> GpsFix:
+        target_t = t - self.delay
+        replayed = None
+        for old in reversed(self._buffer):
+            if old.t <= target_t:
+                replayed = old
+                break
+        if replayed is None and self._buffer:
+            replayed = self._buffer[0]
+        if replayed is None:
+            return fix
+        return GpsFix(t=fix.t, x=replayed.x, y=replayed.y)
+
+
+class GpsNoiseAttack(Attack):
+    """Inflates GPS noise (jamming / meaconing degradation)."""
+
+    name = "gps_noise"
+    channel = "gps"
+
+    def __init__(self, extra_std: float = 3.0, window: AttackWindow | None = None):
+        super().__init__(window)
+        if extra_std <= 0:
+            raise ValueError("extra_std must be positive")
+        self.extra_std = extra_std
+
+    def on_gps(self, t: float, fix: GpsFix) -> GpsFix:
+        if self.rng is None:
+            raise RuntimeError("GpsNoiseAttack requires bind_rng() before use")
+        dx, dy = self.rng.normal(0.0, self.extra_std, size=2)
+        return fix.offset(float(dx), float(dy))

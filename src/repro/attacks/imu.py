@@ -1,0 +1,41 @@
+"""IMU attacks: injected gyro / accelerometer bias.
+
+Models acoustic or EM injection against MEMS inertial sensors (or a
+compromised IMU driver): the reported rates acquire a constant offset,
+which corrupts the EKF's dead reckoning between GPS fixes.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+from repro.sim.sensors.imu import ImuReading
+
+__all__ = ["ImuGyroBiasAttack", "ImuAccelBiasAttack"]
+
+
+class ImuGyroBiasAttack(Attack):
+    """Adds a constant bias to the yaw-rate gyro while active."""
+
+    name = "imu_gyro_bias"
+    channel = "imu"
+
+    def __init__(self, bias: float = 0.05, window: AttackWindow | None = None):
+        super().__init__(window)
+        self.bias = bias
+
+    def on_imu(self, t: float, reading: ImuReading) -> ImuReading:
+        return reading.with_yaw_rate(reading.yaw_rate + self.bias)
+
+
+class ImuAccelBiasAttack(Attack):
+    """Adds a constant bias to the longitudinal accelerometer while active."""
+
+    name = "imu_accel_bias"
+    channel = "imu"
+
+    def __init__(self, bias: float = 0.5, window: AttackWindow | None = None):
+        super().__init__(window)
+        self.bias = bias
+
+    def on_imu(self, t: float, reading: ImuReading) -> ImuReading:
+        return reading.with_accel(reading.accel + self.bias)

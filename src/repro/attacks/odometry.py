@@ -1,0 +1,28 @@
+"""Wheel-odometry attacks: scaled speed messages on the vehicle bus."""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+from repro.sim.sensors.odometry import OdometryReading
+
+__all__ = ["OdometryScaleAttack"]
+
+
+class OdometryScaleAttack(Attack):
+    """Multiplies reported wheel speed by a constant factor.
+
+    ``scale < 1`` makes the vehicle believe it is slower than it is (the
+    PID then overspeeds); ``scale > 1`` causes creeping/stalling.
+    """
+
+    name = "odom_scale"
+    channel = "odometry"
+
+    def __init__(self, scale: float = 0.7, window: AttackWindow | None = None):
+        super().__init__(window)
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        self.scale = scale
+
+    def on_odometry(self, t: float, reading: OdometryReading) -> OdometryReading:
+        return reading.scaled(self.scale)

@@ -1,0 +1,70 @@
+"""Radar attacks: spoofed lead-vehicle tracks.
+
+Automotive radar spoofing (signal injection or a compromised radar ECU)
+manipulates the reported range/range-rate of the tracked lead vehicle,
+which feeds the ACC car-following law directly.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+from repro.sim.sensors.radar import RadarReading
+
+__all__ = ["RadarRangeScaleAttack", "RadarGhostAttack", "RadarBlindAttack"]
+
+
+class RadarRangeScaleAttack(Attack):
+    """Scales the reported range (rate untouched).
+
+    ``scale > 1`` makes the lead appear farther: the ACC closes the real
+    gap dangerously.  Scaling only the range leaves the reported rate
+    inconsistent with the range's own derivative — the A19 signature.
+    """
+
+    name = "radar_scale"
+    channel = "radar"
+
+    def __init__(self, scale: float = 1.6, window: AttackWindow | None = None):
+        super().__init__(window)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def on_radar(self, t: float, reading: RadarReading) -> RadarReading:
+        return reading.with_range(reading.range_m * self.scale)
+
+
+class RadarGhostAttack(Attack):
+    """Injects a ghost target a fixed distance *closer* than the real lead.
+
+    The ACC brakes for a phantom; reported range and rate stay mutually
+    consistent (a constant offset vanishes under differentiation), so the
+    behavioural headway/speed assertions and the range-jump check at onset
+    are what catch it.
+    """
+
+    name = "radar_ghost"
+    channel = "radar"
+
+    def __init__(self, offset: float = 15.0, window: AttackWindow | None = None):
+        super().__init__(window)
+        if offset <= 0:
+            raise ValueError("offset must be positive")
+        self.offset = offset
+
+    def on_radar(self, t: float, reading: RadarReading) -> RadarReading:
+        return reading.with_range(reading.range_m - self.offset)
+
+
+class RadarBlindAttack(Attack):
+    """Suppresses radar tracks entirely (jamming / sensor blinding).
+
+    The ACC holds its last track, then effectively free-runs — the gap
+    erodes as the lead slows.
+    """
+
+    name = "radar_blind"
+    channel = "radar"
+
+    def on_radar(self, t: float, reading: RadarReading) -> RadarReading | None:
+        return None

@@ -1,0 +1,31 @@
+"""CARLA-style vehicle control message."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VehicleControl"]
+
+
+@dataclass(slots=True)
+class VehicleControl:
+    """Normalized control command, mirroring ``carla.VehicleControl``.
+
+    Attributes:
+        throttle: [0, 1] fraction of maximum acceleration.
+        steer: [-1, 1] fraction of maximum steering angle
+            (CARLA convention: positive steers right).
+        brake: [0, 1] fraction of maximum braking deceleration.
+    """
+
+    throttle: float = 0.0
+    steer: float = 0.0
+    brake: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.throttle <= 1.0:
+            raise ValueError("throttle must be in [0, 1]")
+        if not -1.0 <= self.steer <= 1.0:
+            raise ValueError("steer must be in [-1, 1]")
+        if not 0.0 <= self.brake <= 1.0:
+            raise ValueError("brake must be in [0, 1]")

@@ -1,0 +1,41 @@
+"""CARLA-style sensor actors with ``listen()`` callbacks."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = ["SensorActor"]
+
+
+class SensorActor:
+    """A sensor that pushes measurements to registered callbacks.
+
+    Mirrors the ``sensor.listen(callback)`` pattern of the CARLA API.  The
+    owning :class:`~repro.carla_lite.world.World` dispatches fresh readings
+    on every tick.
+    """
+
+    def __init__(self, sensor_type: str):
+        self.sensor_type = sensor_type
+        self._callbacks: list[Callable[[object], None]] = []
+        self._listening = True
+
+    def listen(self, callback: Callable[[object], None]) -> None:
+        """Register a callback invoked with every fresh measurement."""
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        self._callbacks.append(callback)
+
+    def stop(self) -> None:
+        """Stop delivering measurements (CARLA: ``sensor.stop()``)."""
+        self._listening = False
+
+    @property
+    def is_listening(self) -> bool:
+        return self._listening
+
+    def _dispatch(self, measurement: object) -> None:
+        if not self._listening:
+            return
+        for callback in self._callbacks:
+            callback(measurement)

@@ -1,0 +1,162 @@
+"""The CARLA-style synchronous world."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.carla_lite.control import VehicleControl
+from repro.carla_lite.sensors import SensorActor
+from repro.sim.dynamics import VehicleState
+from repro.sim.rng import RngStreams
+from repro.sim.sensors.suite import SensorSuite, SensorSuiteConfig
+from repro.sim.vehicle import Vehicle
+
+__all__ = ["Transform", "VehicleActor", "World"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transform:
+    """CARLA-style transform (2-D subset: location + yaw)."""
+
+    x: float = 0.0
+    y: float = 0.0
+    yaw: float = 0.0
+
+
+class VehicleActor:
+    """A spawned vehicle, controlled CARLA-style via ``apply_control``."""
+
+    def __init__(self, vehicle: Vehicle, actor_id: int):
+        self._vehicle = vehicle
+        self.id = actor_id
+        self.type_id = "vehicle.repro.sedan"
+
+    def apply_control(self, control: VehicleControl) -> None:
+        """Translate normalized CARLA controls to physical commands."""
+        params = self._vehicle.params
+        steer = -control.steer * params.max_steer  # CARLA: positive = right
+        if control.brake > 0.0:
+            accel = -control.brake * params.max_brake
+        else:
+            accel = control.throttle * params.max_accel
+        self._vehicle.apply_control(steer, accel)
+
+    def get_transform(self) -> Transform:
+        state = self._vehicle.state
+        return Transform(x=state.x, y=state.y, yaw=state.yaw)
+
+    def get_velocity(self) -> tuple[float, float]:
+        """World-frame planar velocity (vx, vy), m/s."""
+        state = self._vehicle.state
+        return (
+            state.v * math.cos(state.yaw) - state.vy * math.sin(state.yaw),
+            state.v * math.sin(state.yaw) + state.vy * math.cos(state.yaw),
+        )
+
+    def get_speed(self) -> float:
+        return self._vehicle.state.speed
+
+    @property
+    def vehicle(self) -> Vehicle:
+        """Escape hatch to the underlying simulator vehicle."""
+        return self._vehicle
+
+
+class World:
+    """A synchronous-mode world: spawn actors, tick, sensors push data.
+
+    Usage (mirrors a CARLA synchronous-mode script)::
+
+        world = World(dt=0.05, seed=3)
+        ego = world.spawn_vehicle(Transform(0, 0, 0))
+        gps = world.spawn_sensor("sensor.other.gnss", parent=ego)
+        gps.listen(lambda fix: fixes.append(fix))
+        for _ in range(1000):
+            ego.apply_control(VehicleControl(throttle=0.4, steer=0.0))
+            world.tick()
+    """
+
+    _SENSOR_TYPES = {
+        "sensor.other.gnss": "gps",
+        "sensor.other.imu": "imu",
+        "sensor.other.wheel_odometry": "odometry",
+        "sensor.other.compass": "compass",
+    }
+
+    def __init__(self, dt: float = 0.05, seed: int = 0,
+                 sensor_config: SensorSuiteConfig | None = None):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.dt = dt
+        self._rngs = RngStreams(seed)
+        self._sensor_config = sensor_config or SensorSuiteConfig()
+        self._time = 0.0
+        self._frame = 0
+        self._next_actor_id = 1
+        self._ego: VehicleActor | None = None
+        self._suite: SensorSuite | None = None
+        self._sensor_actors: dict[str, list[SensorActor]] = {
+            channel: [] for channel in self._SENSOR_TYPES.values()
+        }
+
+    @property
+    def time(self) -> float:
+        """Simulation time, seconds."""
+        return self._time
+
+    @property
+    def frame(self) -> int:
+        """Tick counter (CARLA: frame id)."""
+        return self._frame
+
+    def spawn_vehicle(self, transform: Transform,
+                      model: str = "kinematic") -> VehicleActor:
+        """Spawn the ego vehicle (one per world, like a CARLA ego setup)."""
+        if self._ego is not None:
+            raise RuntimeError("this world already has a vehicle")
+        vehicle = Vehicle(
+            model=model,
+            initial_state=VehicleState(x=transform.x, y=transform.y,
+                                       yaw=transform.yaw),
+        )
+        self._ego = VehicleActor(vehicle, self._next_actor_id)
+        self._next_actor_id += 1
+        self._suite = SensorSuite(self._sensor_config, self._rngs)
+        return self._ego
+
+    def spawn_sensor(self, sensor_type: str,
+                     parent: VehicleActor | None = None) -> SensorActor:
+        """Spawn a sensor actor attached to the ego vehicle."""
+        if sensor_type not in self._SENSOR_TYPES:
+            raise ValueError(
+                f"unknown sensor type {sensor_type!r}; "
+                f"expected one of {sorted(self._SENSOR_TYPES)}"
+            )
+        if self._ego is None:
+            raise RuntimeError("spawn a vehicle before spawning sensors")
+        if parent is not None and parent is not self._ego:
+            raise ValueError("sensors can only attach to the ego vehicle")
+        actor = SensorActor(sensor_type)
+        self._sensor_actors[self._SENSOR_TYPES[sensor_type]].append(actor)
+        return actor
+
+    def tick(self) -> int:
+        """Advance the world one step; dispatch sensor data; returns frame."""
+        if self._ego is None or self._suite is None:
+            raise RuntimeError("spawn a vehicle before ticking the world")
+        readings = self._suite.poll(self._time, self._ego.vehicle.state)
+        for channel, reading in (
+            ("gps", readings.gps),
+            ("imu", readings.imu),
+            ("odometry", readings.odometry),
+            ("compass", readings.compass),
+        ):
+            if reading is None:
+                continue
+            for actor in self._sensor_actors[channel]:
+                actor._dispatch(reading)
+        self._ego.vehicle.step(self.dt)
+        self._time += self.dt
+        self._frame += 1
+        return self._frame

@@ -1,0 +1,187 @@
+"""Command-line interface: ``adassure <command>``.
+
+Commands:
+
+* ``run`` — simulate one scenario/controller/attack, check it, diagnose it,
+  and print the debugging report (optionally save the trace).
+* ``check`` — run the assertion catalog over a saved trace file.
+* ``experiment`` — regenerate one or all evaluation tables (e1..e13).
+* ``diff`` — compare two saved traces and print the divergence timeline.
+* ``calibrate`` — fit assertion thresholds on nominal trace files and save
+  a catalog spec.
+* ``list`` — show available scenarios, controllers, attacks, assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.attacks.campaign import ATTACK_CLASSES, standard_attack
+from repro.core.catalog import CATALOG_IDS, default_catalog, make_assertion
+from repro.core.checker import check_trace
+from repro.core.diagnosis import diagnose
+from repro.core.report import render_check_report, render_diagnosis
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import acc_scenario, standard_scenarios
+from repro.trace.io import read_trace_jsonl, write_trace_jsonl
+
+__all__ = ["main"]
+
+_CONTROLLERS = ("pure_pursuit", "stanley", "lqr", "mpc")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenarios = standard_scenarios(seed=args.seed)
+    if args.scenario == "acc_follow":
+        scenario = acc_scenario(seed=args.seed)
+    elif args.scenario in scenarios:
+        scenario = scenarios[args.scenario]
+    else:
+        print(f"unknown scenario {args.scenario!r}; try: "
+              f"{', '.join(scenarios)}, acc_follow", file=sys.stderr)
+        return 2
+    campaign = standard_attack(args.attack, intensity=args.intensity,
+                               onset=args.onset)
+    result = run_scenario(scenario, controller=args.controller,
+                          campaign=campaign)
+    report = check_trace(result.trace, default_catalog())
+    print(render_check_report(report))
+    print()
+    print(render_diagnosis(diagnose(report)))
+    m = result.metrics
+    print()
+    print(f"behaviour: mean|cte|={m.mean_abs_cte:.2f} m  "
+          f"max|cte|={m.max_abs_cte:.2f} m  goal={'yes' if m.goal_reached else 'no'}  "
+          f"diverged={'yes' if result.outcome.diverged else 'no'}")
+    if args.save:
+        write_trace_jsonl(result.trace, args.save)
+        print(f"trace saved to {args.save}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    trace = read_trace_jsonl(args.trace)
+    report = check_trace(trace, default_catalog())
+    print(render_check_report(report))
+    print()
+    print(render_diagnosis(diagnose(report)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig
+    from repro.experiments.export import save_tables
+
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
+    ids = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        if exp_id not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; try: "
+                  f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+        output = ALL_EXPERIMENTS[exp_id](config)
+        tables = output if isinstance(output, list) else [output]
+        for table in tables:
+            print(table.render())
+            print()
+        if args.save_dir:
+            written = save_tables(tables, args.save_dir)
+            for path in written:
+                print(f"saved {path}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.trace.diff import diff_traces
+
+    reference = read_trace_jsonl(args.reference)
+    candidate = read_trace_jsonl(args.candidate)
+    diff = diff_traces(reference, candidate)
+    print(diff.render())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.spec import CatalogSpec
+    from repro.core.tuning import calibrate_catalog
+
+    traces = [read_trace_jsonl(path) for path in args.traces]
+    result = calibrate_catalog(traces, target_headroom=args.headroom)
+    print(result.summary())
+    spec = CatalogSpec.from_calibration(result)
+    spec.save(args.output)
+    print(f"catalog spec written to {args.output}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("scenarios:  " + ", ".join(standard_scenarios()) + ", acc_follow")
+    print("controllers: " + ", ".join(_CONTROLLERS))
+    print("attacks:     none, " + ", ".join(ATTACK_CLASSES))
+    print("assertions:")
+    for aid in CATALOG_IDS:
+        a = make_assertion(aid)
+        print(f"  {aid:<4} [{a.category:<11}] {a.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adassure",
+        description="ADAssure: assertion-based debugging for AD control "
+                    "algorithms (DATE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate, check and diagnose one run")
+    p_run.add_argument("--scenario", default="s_curve")
+    p_run.add_argument("--controller", default="pure_pursuit",
+                       choices=_CONTROLLERS)
+    p_run.add_argument("--attack", default="none",
+                       choices=("none",) + tuple(ATTACK_CLASSES))
+    p_run.add_argument("--intensity", type=float, default=1.0)
+    p_run.add_argument("--onset", type=float, default=15.0)
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--save", metavar="TRACE.jsonl",
+                       help="save the trace for later 'adassure check'")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_check = sub.add_parser("check", help="check a saved trace file")
+    p_check.add_argument("trace", help="path to a .jsonl trace")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_exp = sub.add_parser("experiment", help="regenerate evaluation tables")
+    p_exp.add_argument("id", help="experiment id e1..e9, or 'all'")
+    p_exp.add_argument("--quick", action="store_true",
+                       help="reduced grid (same shape, faster)")
+    p_exp.add_argument("--save-dir", metavar="DIR",
+                       help="also export each table as CSV + Markdown")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_diff = sub.add_parser("diff", help="diff two saved traces")
+    p_diff.add_argument("reference", help="known-good trace (.jsonl)")
+    p_diff.add_argument("candidate", help="anomalous trace (.jsonl)")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_cal = sub.add_parser("calibrate",
+                           help="fit assertion thresholds on nominal traces")
+    p_cal.add_argument("traces", nargs="+", help="nominal traces (.jsonl)")
+    p_cal.add_argument("--headroom", type=float, default=0.1,
+                       help="target nominal margin headroom (default 0.1)")
+    p_cal.add_argument("--output", default="catalog_spec.json",
+                       help="where to write the catalog spec")
+    p_cal.set_defaults(func=_cmd_calibrate)
+
+    p_list = sub.add_parser("list", help="list scenarios/attacks/assertions")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Control algorithms under debug.
+
+This package implements the standard AV path-tracking stack the paper's
+methodology targets: an EKF localization filter consuming the (attackable)
+sensor channels, four lateral controllers from the path-tracking
+literature, a PID longitudinal controller, and a
+:class:`~repro.control.follower.WaypointFollower` agent that combines them
+into the closed-loop policy the simulator drives.
+"""
+
+from repro.control.acc import AccConfig, AccController
+from repro.control.base import (
+    ControlDecision,
+    LateralController,
+    SteerDecision,
+    make_lateral_controller,
+)
+from repro.control.defects import (
+    ControllerDefect,
+    DefectiveController,
+    make_defect,
+)
+from repro.control.estimator import Ekf, EkfConfig, Estimate
+from repro.control.follower import SpeedProfile, WaypointFollower
+from repro.control.lqr import LqrController
+from repro.control.mpc import MpcController
+from repro.control.pid import PidSpeedController
+from repro.control.pure_pursuit import PurePursuitController
+from repro.control.stanley import StanleyController
+
+__all__ = [
+    "LateralController",
+    "SteerDecision",
+    "ControlDecision",
+    "make_lateral_controller",
+    "PurePursuitController",
+    "StanleyController",
+    "LqrController",
+    "MpcController",
+    "PidSpeedController",
+    "Ekf",
+    "EkfConfig",
+    "Estimate",
+    "WaypointFollower",
+    "SpeedProfile",
+    "AccController",
+    "AccConfig",
+    "ControllerDefect",
+    "DefectiveController",
+    "make_defect",
+]

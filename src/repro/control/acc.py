@@ -1,0 +1,67 @@
+"""Adaptive cruise control: constant-time-gap car following.
+
+The classic CTG law used on production ACC systems:
+
+    gap_desired = d0 + tau * v_ego
+    accel = k_gap * (gap - gap_desired) + k_rate * range_rate
+
+The follower arbitrates ``min(speed-tracking accel, ACC accel)``, so ACC
+only ever *restricts* the longitudinal command — the standard safety
+arbitration.  The controller consumes the (attackable) radar track, which
+is what makes radar spoofing visible in its behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccConfig", "AccController"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccConfig:
+    """Constant-time-gap ACC parameters."""
+
+    time_gap: float = 1.5
+    """Desired time headway, seconds."""
+    standstill_gap: float = 5.0
+    """Desired gap at v=0 (d0), meters."""
+    k_gap: float = 0.25
+    """Gap-error gain, 1/s^2."""
+    k_rate: float = 0.6
+    """Range-rate gain, 1/s."""
+    accel_max: float = 2.0
+    """ACC acceleration authority, m/s^2."""
+    brake_max: float = 6.0
+    """ACC braking authority, m/s^2."""
+
+    def __post_init__(self) -> None:
+        if self.time_gap <= 0 or self.standstill_gap <= 0:
+            raise ValueError("time_gap and standstill_gap must be positive")
+        if min(self.k_gap, self.k_rate, self.accel_max, self.brake_max) <= 0:
+            raise ValueError("gains and authorities must be positive")
+
+
+class AccController:
+    """Stateless CTG car-following law over radar range/range-rate."""
+
+    name = "acc_ctg"
+
+    def __init__(self, config: AccConfig | None = None):
+        self.config = config or AccConfig()
+
+    def desired_gap(self, ego_speed: float) -> float:
+        """The CTG setpoint at the given ego speed."""
+        return self.config.standstill_gap + self.config.time_gap * ego_speed
+
+    def compute_accel(self, range_m: float, range_rate: float,
+                      ego_speed: float) -> float:
+        """ACC acceleration command from the latest radar track."""
+        cfg = self.config
+        gap_error = range_m - self.desired_gap(ego_speed)
+        accel = cfg.k_gap * gap_error + cfg.k_rate * range_rate
+        return _clamp(accel, -cfg.brake_max, cfg.accel_max)
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return lo if value < lo else hi if value > hi else value

@@ -1,0 +1,95 @@
+"""Controller interfaces shared by every lateral controller."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.geom.polyline import Polyline
+from repro.geom.vec import Pose
+
+__all__ = [
+    "SteerDecision",
+    "ControlDecision",
+    "LateralController",
+    "make_lateral_controller",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SteerDecision:
+    """Output of a lateral controller for one step."""
+
+    steer: float
+    """Commanded front-wheel angle, rad."""
+    cte: float
+    """Cross-track error the controller saw (from the estimate), meters."""
+    heading_err: float
+    """Heading error the controller saw, rad."""
+    station: float
+    """Arc-length station of the projection used, meters."""
+
+
+@dataclass(frozen=True, slots=True)
+class ControlDecision:
+    """Full control command for one step (lateral + longitudinal)."""
+
+    steer_cmd: float
+    accel_cmd: float
+    cte: float
+    heading_err: float
+    station: float
+    target_speed: float
+
+
+class LateralController(abc.ABC):
+    """A path-tracking lateral controller.
+
+    Controllers are *stateful* (station hints, integrators, previous
+    solutions) and must be ``reset()`` between runs.  They see only the
+    estimated pose and speed — never ground truth — which is what makes
+    sensor attacks visible in their behaviour.
+    """
+
+    name: str = "lateral"
+
+    def reset(self) -> None:
+        """Clear internal state before a new run (default: nothing)."""
+
+    @abc.abstractmethod
+    def compute_steer(
+        self, pose: Pose, speed: float, route: Polyline, dt: float
+    ) -> SteerDecision:
+        """Compute the steering command for the current estimate.
+
+        Args:
+            pose: estimated vehicle pose (rear-axle reference).
+            speed: estimated longitudinal speed, m/s.
+            route: the reference route.
+            dt: controller period, seconds.
+        """
+
+
+def make_lateral_controller(name: str, **kwargs) -> LateralController:
+    """Factory for the four built-in lateral controllers by name.
+
+    Args:
+        name: one of ``pure_pursuit``, ``stanley``, ``lqr``, ``mpc``.
+        kwargs: forwarded to the controller constructor.
+    """
+    from repro.control.lqr import LqrController
+    from repro.control.mpc import MpcController
+    from repro.control.pure_pursuit import PurePursuitController
+    from repro.control.stanley import StanleyController
+
+    registry = {
+        "pure_pursuit": PurePursuitController,
+        "stanley": StanleyController,
+        "lqr": LqrController,
+        "mpc": MpcController,
+    }
+    if name not in registry:
+        raise ValueError(
+            f"unknown lateral controller {name!r}; expected one of {sorted(registry)}"
+        )
+    return registry[name](**kwargs)

@@ -1,0 +1,173 @@
+"""Controller implementation defects.
+
+ADAssure debugs *control algorithms*, and not every anomaly is an attack:
+regressions ship in controller code.  This module injects the classic
+implementation bugs into any lateral controller:
+
+* **gain error** — a tuning constant scaled (the 2x-gain regression);
+* **sign flip** — inverted steering convention (the classic frame bug);
+* **stale input** — the controller consumes an old pose (a latched message
+  or mis-wired subscriber);
+* **deadband** — small commands quantized to zero (unit truncation);
+* **saturation** — output clamped far below the actuator limit (a wrong
+  unit conversion on the limit constant).
+
+Each defect perturbs only the controller's I/O, never the plant — so the
+violation pattern the catalog sees is the bug's genuine closed-loop
+signature.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.control.base import LateralController, SteerDecision
+from repro.geom.polyline import Polyline
+from repro.geom.vec import Pose
+
+__all__ = [
+    "ControllerDefect",
+    "GainErrorDefect",
+    "SignFlipDefect",
+    "StaleInputDefect",
+    "DeadbandDefect",
+    "SaturationDefect",
+    "DefectiveController",
+    "DEFECT_CLASSES",
+    "make_defect",
+]
+
+
+class ControllerDefect(abc.ABC):
+    """A bug model: transforms the controller's inputs and/or output."""
+
+    name: str = "defect"
+
+    def reset(self) -> None:
+        """Clear per-run state."""
+
+    def transform_input(self, pose: Pose, speed: float) -> tuple[Pose, float]:
+        """Corrupt what the controller sees (default: nothing)."""
+        return pose, speed
+
+    def transform_output(self, steer: float) -> float:
+        """Corrupt what the controller commands (default: nothing)."""
+        return steer
+
+
+class GainErrorDefect(ControllerDefect):
+    """Output scaled by a constant factor (mis-tuned gain)."""
+
+    name = "ctrl_gain_error"
+
+    def __init__(self, factor: float = 3.0):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.factor = factor
+
+    def transform_output(self, steer: float) -> float:
+        return steer * self.factor
+
+
+class SignFlipDefect(ControllerDefect):
+    """Inverted steering sign (frame-convention bug)."""
+
+    name = "ctrl_sign_flip"
+
+    def transform_output(self, steer: float) -> float:
+        return -steer
+
+
+class StaleInputDefect(ControllerDefect):
+    """The controller consumes the pose from ``delay_steps`` ago."""
+
+    name = "ctrl_stale_input"
+
+    def __init__(self, delay_steps: int = 16):
+        if delay_steps < 1:
+            raise ValueError("delay_steps must be >= 1")
+        self.delay_steps = delay_steps
+        self._history: deque[tuple[Pose, float]] = deque()
+
+    def reset(self) -> None:
+        self._history.clear()
+
+    def transform_input(self, pose: Pose, speed: float) -> tuple[Pose, float]:
+        self._history.append((pose, speed))
+        if len(self._history) <= self.delay_steps:
+            return self._history[0]
+        return self._history.popleft()
+
+
+class DeadbandDefect(ControllerDefect):
+    """Commands below a threshold are truncated to zero."""
+
+    name = "ctrl_deadband"
+
+    def __init__(self, threshold: float = 0.05):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+
+    def transform_output(self, steer: float) -> float:
+        return 0.0 if abs(steer) < self.threshold else steer
+
+
+class SaturationDefect(ControllerDefect):
+    """Output clamped far below the real actuator limit."""
+
+    name = "ctrl_saturation"
+
+    def __init__(self, limit: float = 0.02):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+
+    def transform_output(self, steer: float) -> float:
+        return min(max(steer, -self.limit), self.limit)
+
+
+class DefectiveController(LateralController):
+    """A lateral controller with an injected implementation defect."""
+
+    def __init__(self, inner: LateralController, defect: ControllerDefect):
+        self.inner = inner
+        self.defect = defect
+        self.name = f"{inner.name}+{defect.name}"
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.defect.reset()
+
+    def compute_steer(
+        self, pose: Pose, speed: float, route: Polyline, dt: float
+    ) -> SteerDecision:
+        pose, speed = self.defect.transform_input(pose, speed)
+        decision = self.inner.compute_steer(pose, speed, route, dt)
+        steer = self.defect.transform_output(decision.steer)
+        return SteerDecision(
+            steer=steer,
+            cte=decision.cte,
+            heading_err=decision.heading_err,
+            station=decision.station,
+        )
+
+
+DEFECT_CLASSES: dict[str, type[ControllerDefect]] = {
+    "ctrl_gain_error": GainErrorDefect,
+    "ctrl_sign_flip": SignFlipDefect,
+    "ctrl_stale_input": StaleInputDefect,
+    "ctrl_deadband": DeadbandDefect,
+    "ctrl_saturation": SaturationDefect,
+}
+"""Registry of defect classes (E13 iterates over these)."""
+
+
+def make_defect(name: str, **kwargs) -> ControllerDefect:
+    """Instantiate a defect by registry name."""
+    if name not in DEFECT_CLASSES:
+        raise ValueError(
+            f"unknown defect {name!r}; expected one of {sorted(DEFECT_CLASSES)}"
+        )
+    return DEFECT_CLASSES[name](**kwargs)

@@ -1,0 +1,200 @@
+"""EKF localization: the attack surface of the control stack.
+
+State: ``[x, y, yaw, v]``.  Prediction integrates the IMU (yaw rate +
+longitudinal acceleration); updates fuse GPS position, compass heading and
+wheel-speed odometry.  The filter reports per-channel *normalized
+innovation squared* (NIS) values, which the A9 innovation-bound assertion
+monitors — a textbook fault-detection residual that spoofing attacks
+inflate long before the vehicle visibly deviates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geom.angles import angle_diff, normalize_angle
+from repro.geom.vec import Pose, Vec2
+
+__all__ = ["EkfConfig", "Estimate", "Ekf"]
+
+
+@dataclass(frozen=True, slots=True)
+class EkfConfig:
+    """Process/measurement noise configuration of the EKF."""
+
+    sigma_gps: float = 0.5
+    """GPS position measurement std per axis, meters."""
+    sigma_compass: float = 0.02
+    """Compass heading measurement std, rad."""
+    sigma_speed: float = 0.1
+    """Wheel-speed measurement std, m/s."""
+    q_pos: float = 0.05
+    """Process noise density on position, m^2/s."""
+    q_yaw: float = 0.01
+    """Process noise density on yaw, rad^2/s."""
+    q_v: float = 0.5
+    """Process noise density on speed, (m/s)^2/s."""
+    p0_pos: float = 4.0
+    p0_yaw: float = 0.5
+    p0_v: float = 1.0
+    gate_nis: float | None = None
+    """Innovation gate: measurements whose NIS exceeds this chi-square
+    threshold are *rejected* (state untouched, NIS still reported).  This
+    is the classic spoofing mitigation the ADAssure diagnosis motivates;
+    ``None`` disables gating (the default, and the configuration under
+    debug in the main evaluation).  Typical values: 13.8 (2 dof, p=0.001)
+    for GPS, applied to all channels here for simplicity."""
+
+    def __post_init__(self) -> None:
+        values = (
+            self.sigma_gps, self.sigma_compass, self.sigma_speed,
+            self.q_pos, self.q_yaw, self.q_v,
+            self.p0_pos, self.p0_yaw, self.p0_v,
+        )
+        if min(values) <= 0:
+            raise ValueError("all EKF noise parameters must be positive")
+        if self.gate_nis is not None and self.gate_nis <= 0:
+            raise ValueError("gate_nis must be positive (or None)")
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """EKF output consumed by the controller and recorded in the trace."""
+
+    x: float
+    y: float
+    yaw: float
+    v: float
+    cov_trace: float
+    nis_gps: float
+    nis_speed: float
+    nis_compass: float
+
+    @property
+    def pose(self) -> Pose:
+        return Pose(Vec2(self.x, self.y), self.yaw)
+
+
+class Ekf:
+    """Extended Kalman filter over ``[x, y, yaw, v]``.
+
+    The NIS attributes hold the most recent value per channel (zero until
+    the first update of that channel).
+    """
+
+    def __init__(self, config: EkfConfig | None = None):
+        self.config = config or EkfConfig()
+        self._x = np.zeros(4)
+        self._p = np.diag([
+            self.config.p0_pos, self.config.p0_pos,
+            self.config.p0_yaw, self.config.p0_v,
+        ])
+        self._nis_gps = 0.0
+        self._nis_speed = 0.0
+        self._nis_compass = 0.0
+
+    def reset(self, x: float, y: float, yaw: float, v: float = 0.0) -> None:
+        """Initialize the state (scenario start pose)."""
+        self._x = np.array([x, y, normalize_angle(yaw), v], dtype=float)
+        self._p = np.diag([
+            self.config.p0_pos, self.config.p0_pos,
+            self.config.p0_yaw, self.config.p0_v,
+        ])
+        self._nis_gps = self._nis_speed = self._nis_compass = 0.0
+
+    # ------------------------------------------------------------------
+    # Predict
+    # ------------------------------------------------------------------
+    def predict(self, yaw_rate: float, accel: float, dt: float) -> None:
+        """Propagate the state with IMU inputs over ``dt``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        x, y, yaw, v = self._x
+        cos_y, sin_y = np.cos(yaw), np.sin(yaw)
+        self._x = np.array([
+            x + v * cos_y * dt,
+            y + v * sin_y * dt,
+            normalize_angle(yaw + yaw_rate * dt),
+            max(v + accel * dt, 0.0),
+        ])
+        f = np.eye(4)
+        f[0, 2] = -v * sin_y * dt
+        f[0, 3] = cos_y * dt
+        f[1, 2] = v * cos_y * dt
+        f[1, 3] = sin_y * dt
+        cfg = self.config
+        q = np.diag([cfg.q_pos, cfg.q_pos, cfg.q_yaw, cfg.q_v]) * dt
+        self._p = f @ self._p @ f.T + q
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update_gps(self, gx: float, gy: float) -> float:
+        """Fuse a GPS fix; returns the NIS of the innovation."""
+        h = np.zeros((2, 4))
+        h[0, 0] = 1.0
+        h[1, 1] = 1.0
+        r = np.eye(2) * self.config.sigma_gps**2
+        innov = np.array([gx, gy]) - h @ self._x
+        self._nis_gps = self._update(h, r, innov)
+        return self._nis_gps
+
+    def update_speed(self, speed: float) -> float:
+        """Fuse a wheel-speed reading; returns the NIS."""
+        h = np.zeros((1, 4))
+        h[0, 3] = 1.0
+        r = np.array([[self.config.sigma_speed**2]])
+        innov = np.array([speed - self._x[3]])
+        self._nis_speed = self._update(h, r, innov)
+        return self._nis_speed
+
+    def update_compass(self, yaw: float) -> float:
+        """Fuse an absolute heading (angle-aware innovation); returns NIS."""
+        h = np.zeros((1, 4))
+        h[0, 2] = 1.0
+        r = np.array([[self.config.sigma_compass**2]])
+        innov = np.array([angle_diff(yaw, float(self._x[2]))])
+        self._nis_compass = self._update(h, r, innov)
+        self._x[2] = normalize_angle(float(self._x[2]))
+        return self._nis_compass
+
+    def _update(self, h: np.ndarray, r: np.ndarray, innov: np.ndarray) -> float:
+        s = h @ self._p @ h.T + r
+        s_inv = np.linalg.inv(s)
+        nis = float(innov @ s_inv @ innov)
+        gate = self.config.gate_nis
+        if gate is not None and nis > gate:
+            # Measurement rejected: the filter coasts on its prediction.
+            # The NIS is still reported so monitors see the anomaly.
+            return nis
+        k = self._p @ h.T @ s_inv
+        self._x = self._x + k @ innov
+        # Any update can drag v below zero through the cross-covariance;
+        # the vehicle cannot reverse in this model.
+        self._x[3] = max(self._x[3], 0.0)
+        i_kh = np.eye(4) - k @ h
+        # Joseph form keeps P symmetric positive definite.
+        self._p = i_kh @ self._p @ i_kh.T + k @ r @ k.T
+        return nis
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    @property
+    def estimate(self) -> Estimate:
+        return Estimate(
+            x=float(self._x[0]),
+            y=float(self._x[1]),
+            yaw=normalize_angle(float(self._x[2])),
+            v=float(self._x[3]),
+            cov_trace=float(np.trace(self._p)),
+            nis_gps=self._nis_gps,
+            nis_speed=self._nis_speed,
+            nis_compass=self._nis_compass,
+        )
+
+    @property
+    def covariance(self) -> np.ndarray:
+        return self._p.copy()

@@ -1,0 +1,134 @@
+"""The waypoint-follower agent: lateral + longitudinal control combined.
+
+This is the "control algorithm" ADAssure debugs as a unit: given a state
+estimate and the reference route, produce steering and acceleration
+commands.  The speed profile slows for curvature (lateral-acceleration
+budget) and brakes to a stop at the goal of open routes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.control.acc import AccController
+from repro.control.base import ControlDecision, LateralController
+from repro.control.estimator import Estimate
+from repro.control.pid import PidSpeedController
+from repro.geom.polyline import Polyline
+
+if TYPE_CHECKING:
+    from repro.sim.sensors.radar import RadarReading
+
+__all__ = ["SpeedProfile", "WaypointFollower"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedProfile:
+    """Target-speed policy along the route."""
+
+    cruise_speed: float = 10.0
+    """Nominal target speed, m/s."""
+    lat_accel_budget: float = 2.5
+    """Comfort limit used to slow down in corners, m/s^2."""
+    preview: float = 12.0
+    """Distance ahead over which curvature is considered, meters."""
+    brake_decel: float = 2.0
+    """Comfortable deceleration used for the stopping profile, m/s^2."""
+    stop_at_goal: bool = True
+    """Brake to a stop at the end of open routes."""
+
+    def __post_init__(self) -> None:
+        if self.cruise_speed <= 0 or self.lat_accel_budget <= 0:
+            raise ValueError("cruise_speed and lat_accel_budget must be positive")
+        if self.brake_decel <= 0 or self.preview < 0:
+            raise ValueError("brake_decel must be positive, preview non-negative")
+
+    def target_speed(self, route: Polyline, station: float) -> float:
+        """Target speed at the given route station."""
+        target = self.cruise_speed
+        # Curvature-limited speed over the preview window.
+        samples = 4
+        for i in range(samples + 1):
+            kappa = abs(route.lookahead(station, self.preview * i / samples).curvature)
+            if kappa > 1e-6:
+                target = min(target, math.sqrt(self.lat_accel_budget / kappa))
+        # Stopping profile near the goal (open routes only).
+        if self.stop_at_goal and not route.closed:
+            remaining = route.remaining(station)
+            v_stop = math.sqrt(max(2.0 * self.brake_decel * remaining, 0.0))
+            target = min(target, v_stop)
+        return max(target, 0.0)
+
+
+class WaypointFollower:
+    """Closed-loop policy: estimate in, control command out."""
+
+    def __init__(
+        self,
+        lateral: LateralController,
+        speed_controller: PidSpeedController | None = None,
+        profile: SpeedProfile | None = None,
+        acc: AccController | None = None,
+    ):
+        self.lateral = lateral
+        self.speed_controller = speed_controller or PidSpeedController()
+        self.profile = profile or SpeedProfile()
+        self.acc = acc
+        self._goal_latched = False
+        self._last_radar: "RadarReading | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.lateral.name
+
+    def reset(self) -> None:
+        self.lateral.reset()
+        self.speed_controller.reset()
+        self._goal_latched = False
+        self._last_radar = None
+
+    def decide(self, estimate: Estimate, route: Polyline, dt: float,
+               radar: "RadarReading | None" = None) -> ControlDecision:
+        """Compute the full control command from the current estimate."""
+        steer_decision = self.lateral.compute_steer(
+            estimate.pose, estimate.v, route, dt
+        )
+        # Mission-complete latch: once the end of an open route is reached,
+        # hold the wheel straight and brake to a stop.  Without this the
+        # clamped lookahead point falls behind the vehicle and the lateral
+        # controller saturates meaninglessly.
+        if not route.closed and self.profile.stop_at_goal:
+            remaining = route.remaining(steer_decision.station)
+            if remaining < 3.0 or (remaining < 8.0 and estimate.v < 2.0):
+                self._goal_latched = True
+        if self._goal_latched:
+            return ControlDecision(
+                steer_cmd=0.0,
+                accel_cmd=-self.profile.brake_decel,
+                cte=steer_decision.cte,
+                heading_err=steer_decision.heading_err,
+                station=steer_decision.station,
+                target_speed=0.0,
+            )
+        target_speed = self.profile.target_speed(route, steer_decision.station)
+        accel_cmd = self.speed_controller.compute_accel(estimate.v, target_speed, dt)
+        # ACC arbitration: car-following may only restrict the command.
+        if self.acc is not None:
+            if radar is not None:
+                self._last_radar = radar
+            if self._last_radar is not None:
+                acc_accel = self.acc.compute_accel(
+                    self._last_radar.range_m, self._last_radar.range_rate,
+                    estimate.v,
+                )
+                accel_cmd = min(accel_cmd, acc_accel)
+        return ControlDecision(
+            steer_cmd=steer_decision.steer,
+            accel_cmd=accel_cmd,
+            cte=steer_decision.cte,
+            heading_err=steer_decision.heading_err,
+            station=steer_decision.station,
+            target_speed=target_speed,
+        )

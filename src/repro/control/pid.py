@@ -1,0 +1,68 @@
+"""PID longitudinal (speed) controller with anti-windup."""
+
+from __future__ import annotations
+
+__all__ = ["PidSpeedController"]
+
+
+class PidSpeedController:
+    """Classic PID on speed error producing an acceleration command.
+
+    Anti-windup: the integrator is clamped and stops accumulating while
+    the output is saturated in the same direction (conditional
+    integration), which prevents launch overshoot.
+    """
+
+    name = "pid"
+
+    def __init__(
+        self,
+        kp: float = 1.2,
+        ki: float = 0.25,
+        kd: float = 0.05,
+        accel_max: float = 3.0,
+        brake_max: float = 6.0,
+        integral_limit: float = 4.0,
+    ):
+        if kp < 0 or ki < 0 or kd < 0:
+            raise ValueError("PID gains must be non-negative")
+        if accel_max <= 0 or brake_max <= 0 or integral_limit <= 0:
+            raise ValueError("limits must be positive")
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.accel_max = accel_max
+        self.brake_max = brake_max
+        self.integral_limit = integral_limit
+        self._integral = 0.0
+        self._prev_error: float | None = None
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._prev_error = None
+
+    def compute_accel(self, speed: float, target_speed: float, dt: float) -> float:
+        """Acceleration command (positive drive, negative brake), m/s^2."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        error = target_speed - speed
+        derivative = 0.0
+        if self._prev_error is not None:
+            derivative = (error - self._prev_error) / dt
+        self._prev_error = error
+
+        unsat = self.kp * error + self.ki * self._integral + self.kd * derivative
+        saturated_hi = unsat > self.accel_max
+        saturated_lo = unsat < -self.brake_max
+        if not (saturated_hi and error > 0) and not (saturated_lo and error < 0):
+            self._integral = _clamp(
+                self._integral + error * dt,
+                -self.integral_limit,
+                self.integral_limit,
+            )
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        return _clamp(output, -self.brake_max, self.accel_max)
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return lo if value < lo else hi if value > hi else value

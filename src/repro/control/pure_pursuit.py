@@ -1,0 +1,86 @@
+"""Pure Pursuit lateral controller.
+
+The geometric tracker used on countless AV platforms (and the default in
+the TalTech research-vehicle stack): chase a lookahead point on the path
+with a circular arc.  Lookahead distance scales with speed for stability.
+
+    steer = atan2(2 L sin(alpha), Ld)
+
+where ``alpha`` is the bearing of the lookahead point in the body frame
+and ``Ld`` the lookahead distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.control.base import LateralController, SteerDecision
+from repro.geom.angles import angle_diff
+from repro.geom.polyline import Polyline
+from repro.geom.vec import Pose
+
+__all__ = ["PurePursuitController"]
+
+
+class PurePursuitController(LateralController):
+    """Speed-scaled Pure Pursuit.
+
+    Args:
+        wheelbase: vehicle wheelbase, meters.
+        lookahead_gain: seconds of travel ahead (Ld = gain * v).
+        min_lookahead / max_lookahead: clamp on the lookahead distance.
+        max_steer: output saturation, rad.
+    """
+
+    name = "pure_pursuit"
+
+    def __init__(
+        self,
+        wheelbase: float = 2.7,
+        lookahead_gain: float = 0.9,
+        min_lookahead: float = 4.0,
+        max_lookahead: float = 25.0,
+        max_steer: float = 0.61,
+    ):
+        if wheelbase <= 0 or lookahead_gain <= 0:
+            raise ValueError("wheelbase and lookahead_gain must be positive")
+        if not 0 < min_lookahead <= max_lookahead:
+            raise ValueError("need 0 < min_lookahead <= max_lookahead")
+        self.wheelbase = wheelbase
+        self.lookahead_gain = lookahead_gain
+        self.min_lookahead = min_lookahead
+        self.max_lookahead = max_lookahead
+        self.max_steer = max_steer
+        self._station_hint: float | None = None
+
+    def reset(self) -> None:
+        self._station_hint = None
+
+    def compute_steer(
+        self, pose: Pose, speed: float, route: Polyline, dt: float
+    ) -> SteerDecision:
+        proj = route.project(pose.position, hint_station=self._station_hint)
+        self._station_hint = proj.station
+
+        lookahead = min(
+            max(self.lookahead_gain * speed, self.min_lookahead),
+            self.max_lookahead,
+        )
+        target = route.lookahead(proj.station, lookahead).point
+        local = pose.to_local(target)
+        # Bearing to the target point in the body frame.
+        alpha = math.atan2(local.y, max(local.x, 1e-6))
+        dist = max(local.norm(), 1e-3)
+        steer = math.atan2(2.0 * self.wheelbase * math.sin(alpha), dist)
+        steer = _clamp(steer, -self.max_steer, self.max_steer)
+
+        return SteerDecision(
+            steer=steer,
+            cte=proj.cross_track,
+            heading_err=angle_diff(pose.yaw, proj.heading),
+            station=proj.station,
+        )
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return lo if value < lo else hi if value > hi else value

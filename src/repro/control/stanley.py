@@ -1,0 +1,92 @@
+"""Stanley lateral controller (front-axle cross-track law).
+
+The DARPA-Grand-Challenge-winning law: steer to cancel the heading error
+and add a cross-track correction that sharpens at low speed:
+
+    steer = heading_err_to_path + atan2(k * cte_front, v + v_soft)
+
+Cross-track error is measured at the *front* axle; positive cte (vehicle
+left of path) demands a negative (rightward) correction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.control.base import LateralController, SteerDecision
+from repro.geom.angles import angle_diff
+from repro.geom.polyline import Polyline
+from repro.geom.vec import Pose
+
+__all__ = ["StanleyController"]
+
+
+class StanleyController(LateralController):
+    """Stanley path tracker.
+
+    Args:
+        wheelbase: distance rear axle -> front axle, meters (the pose is
+            rear-axle referenced; the front axle point is derived).
+        k_cte: cross-track gain, 1/s.
+        v_soft: softening speed to keep the law bounded near standstill.
+        k_damp: yaw-damping gain on the steering output (first-order
+            low-pass between steps), in [0, 1); 0 disables damping.
+        max_steer: output saturation, rad.
+    """
+
+    name = "stanley"
+
+    def __init__(
+        self,
+        wheelbase: float = 2.7,
+        k_cte: float = 1.2,
+        v_soft: float = 1.0,
+        k_damp: float = 0.2,
+        max_steer: float = 0.61,
+    ):
+        if wheelbase <= 0 or k_cte <= 0 or v_soft <= 0:
+            raise ValueError("wheelbase, k_cte and v_soft must be positive")
+        if not 0.0 <= k_damp < 1.0:
+            raise ValueError("k_damp must be in [0, 1)")
+        self.wheelbase = wheelbase
+        self.k_cte = k_cte
+        self.v_soft = v_soft
+        self.k_damp = k_damp
+        self.max_steer = max_steer
+        self._station_hint: float | None = None
+        self._prev_steer = 0.0
+
+    def reset(self) -> None:
+        self._station_hint = None
+        self._prev_steer = 0.0
+
+    def compute_steer(
+        self, pose: Pose, speed: float, route: Polyline, dt: float
+    ) -> SteerDecision:
+        front_axle = pose.position + pose.forward() * self.wheelbase
+        proj_front = route.project(front_axle, hint_station=self._station_hint)
+        self._station_hint = proj_front.station
+
+        heading_err = angle_diff(proj_front.heading, pose.yaw)
+        cross_term = math.atan2(
+            -self.k_cte * proj_front.cross_track, speed + self.v_soft
+        )
+        steer = heading_err + cross_term
+        if self.k_damp > 0.0:
+            steer = (1.0 - self.k_damp) * steer + self.k_damp * self._prev_steer
+        steer = _clamp(steer, -self.max_steer, self.max_steer)
+        self._prev_steer = steer
+
+        # Report rear-axle-referenced errors for trace comparability with
+        # the other controllers.
+        proj_rear = route.project(pose.position, hint_station=proj_front.station)
+        return SteerDecision(
+            steer=steer,
+            cte=proj_rear.cross_track,
+            heading_err=angle_diff(pose.yaw, proj_rear.heading),
+            station=proj_rear.station,
+        )
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return lo if value < lo else hi if value > hi else value

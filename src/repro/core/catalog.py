@@ -1,0 +1,792 @@
+"""The built-in assertion catalog.
+
+Each assertion encodes one domain-expert expectation about a healthy AD
+control loop.  The catalog deliberately mixes four families (the E8
+ablation quantifies their complementary value):
+
+* **behaviour** (A1-A3, A12-A15) — the vehicle's actual motion stays within
+  lane/comfort/progress envelopes.  These use ground-truth channels where
+  available (we are debugging in simulation, as the paper does in CARLA)
+  and detect that *something* is wrong, slowly.
+* **consistency** (A4-A9) — redundant observable channels must agree:
+  GPS vs. dead reckoning, GPS-derived speed vs. wheel speed, gyro vs.
+  compass, EKF innovations vs. their chi-square envelope.  These localize
+  *which channel* lies, and they fire before the vehicle visibly deviates.
+* **stability** (A10-A11, A13) — the control loop itself behaves: progress
+  is made, steering does not limit-cycle or saturate persistently.
+* **actuation** (A16) — the plant executes what the controller commanded.
+
+Every assertion documents its rationale, its threshold provenance, and the
+attack/fault signatures it is designed to catch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.dsl import BoundAssertion, TraceAssertion, WindowMeanBoundAssertion
+from repro.geom.angles import angle_diff
+from repro.trace.schema import TraceRecord
+
+__all__ = [
+    "default_catalog",
+    "make_assertion",
+    "CATALOG_IDS",
+    "CATALOG_STAGES",
+]
+
+_SETTLE = 8.0  # seconds of launch transient excluded from behaviour checks
+
+
+# ---------------------------------------------------------------------------
+# Consistency assertions (custom state machines)
+# ---------------------------------------------------------------------------
+class GpsDeadReckoningAssertion(TraceAssertion):
+    """A4 — GPS fixes must agree with wheel/compass dead reckoning.
+
+    The monitor integrates wheel speed along compass heading from a
+    periodically re-anchored origin; every fresh GPS fix is compared to
+    the dead-reckoned position.  The allowed divergence grows slowly with
+    distance travelled (odometry scale error + heading noise) from a base
+    of ~3x GPS noise.
+
+    Signatures: a *bias/jump* spoof violates at onset only (offset is
+    consistent afterwards); a *drift* spoof re-violates every anchor
+    window; *freeze* and *replay* diverge as the vehicle moves.
+    """
+
+    def __init__(self, anchor_window: float = 8.0, base_bound: float = 1.4,
+                 per_meter: float = 0.015, min_travel: float = 3.0):
+        super().__init__(
+            "A4", "GPS / dead-reckoning consistency", "consistency",
+            settle_time=2.0, debounce_on=2, debounce_off=10,
+        )
+        self.anchor_window = anchor_window
+        self.base_bound = base_bound
+        self.per_meter = per_meter
+        self.min_travel = min_travel
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._anchor: tuple[float, float, float] | None = None  # (t, x, y)
+        self._dr_x = 0.0
+        self._dr_y = 0.0
+        self._dist = 0.0
+        self._heading: float | None = None
+        self._last_t: float | None = None
+
+    def margin(self, record: TraceRecord) -> float | None:
+        # Heading for dead reckoning: compass-anchored, gyro-propagated
+        # between compass samples (removes the staleness error a raw
+        # zero-order-held compass would add in corners).
+        if record.compass_fresh or self._heading is None:
+            self._heading = record.compass_yaw
+        if self._last_t is not None:
+            dt = record.t - self._last_t
+            if not record.compass_fresh:
+                self._heading += record.imu_yaw_rate * dt
+            mid_heading = self._heading - 0.5 * record.imu_yaw_rate * dt
+            step = record.odom_speed * dt
+            self._dr_x += step * math.cos(mid_heading)
+            self._dr_y += step * math.sin(mid_heading)
+            self._dist += abs(step)
+        self._last_t = record.t
+
+        if not record.gps_fresh:
+            return None
+        if self._anchor is None or (record.t - self._anchor[0]) >= self.anchor_window:
+            self._anchor = (record.t, record.gps_x, record.gps_y)
+            self._dr_x = record.gps_x
+            self._dr_y = record.gps_y
+            self._dist = 0.0
+            return None
+        if self._dist < self.min_travel:
+            # A stationary (or barely moved) vehicle gives the comparison
+            # no leverage: the residual is pure receiver noise/walk.
+            return None
+        error = math.hypot(record.gps_x - self._dr_x, record.gps_y - self._dr_y)
+        bound = self.base_bound + self.per_meter * self._dist
+        return 1.0 - error / bound
+
+
+class GpsJumpAssertion(TraceAssertion):
+    """A5 — consecutive GPS fixes must be kinematically plausible.
+
+    The distance between consecutive fixes is bounded by the wheel-speed
+    envelope over the fix interval plus a noise allowance.  Catches
+    jump-and-hold spoofs, replay onsets, and jamming-grade noise; a slow
+    drift is (by design) invisible to this assertion.
+    """
+
+    def __init__(self, speed_margin: float = 3.0, base_allowance: float = 2.2):
+        super().__init__(
+            "A5", "GPS jump plausibility", "consistency",
+            settle_time=1.0, debounce_on=1, debounce_off=3,
+        )
+        self.speed_margin = speed_margin
+        self.base_allowance = base_allowance
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._prev_fix: tuple[float, float, float] | None = None
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if not record.gps_fresh:
+            return None
+        prev = self._prev_fix
+        self._prev_fix = (record.t, record.gps_x, record.gps_y)
+        if prev is None:
+            return None
+        dt_fix = record.t - prev[0]
+        if dt_fix <= 0:
+            return None
+        dist = math.hypot(record.gps_x - prev[1], record.gps_y - prev[2])
+        bound = (record.odom_speed + self.speed_margin) * dt_fix + self.base_allowance
+        return 1.0 - dist / bound
+
+
+class GpsFreezeAssertion(TraceAssertion):
+    """A6 — a moving vehicle must see moving GPS fixes.
+
+    Tracks wheel-odometry distance accumulated since the last material GPS
+    position change; a frozen receiver lets that distance grow without
+    bound.  Noise cannot fake movement out of a literally frozen fix, and
+    genuine fixes at driving speed move far more than the change
+    threshold per fix interval.
+    """
+
+    def __init__(self, move_threshold: float = 0.25, allowed_distance: float = 6.0):
+        super().__init__(
+            "A6", "GPS freeze detection", "consistency",
+            settle_time=2.0, debounce_on=3, debounce_off=5,
+        )
+        self.move_threshold = move_threshold
+        self.allowed_distance = allowed_distance
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._last_fix: tuple[float, float] | None = None
+        self._odom_since_move = 0.0
+        self._last_t: float | None = None
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if self._last_t is not None:
+            self._odom_since_move += record.odom_speed * (record.t - self._last_t)
+        self._last_t = record.t
+        if record.gps_fresh:
+            fix = (record.gps_x, record.gps_y)
+            if self._last_fix is None or (
+                math.hypot(fix[0] - self._last_fix[0], fix[1] - self._last_fix[1])
+                > self.move_threshold
+            ):
+                self._last_fix = fix
+                self._odom_since_move = 0.0
+        return 1.0 - self._odom_since_move / self.allowed_distance
+
+
+class SpeedConsistencyAssertion(TraceAssertion):
+    """A7 — GPS-derived ground speed must match wheel speed.
+
+    Positions of fixes ~1 s apart give an independent speed estimate; a
+    scaled wheel-speed message (or a frozen/replayed GPS) breaks the
+    agreement.  The bound absorbs GPS noise differentiated over the
+    baseline (~0.7 m/s) with 3x headroom.
+    """
+
+    def __init__(self, baseline: float = 1.0, bound: float = 2.2):
+        super().__init__(
+            "A7", "GPS / wheel-speed consistency", "consistency",
+            settle_time=3.0, debounce_on=2, debounce_off=8,
+        )
+        self.baseline = baseline
+        self.bound = bound
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._fixes: list[tuple[float, float, float]] = []
+        self._odom: list[tuple[float, float]] = []
+
+    def margin(self, record: TraceRecord) -> float | None:
+        self._odom.append((record.t, record.odom_speed))
+        cutoff = record.t - 2.0 * self.baseline
+        while self._odom and self._odom[0][0] < cutoff:
+            self._odom.pop(0)
+        if not record.gps_fresh:
+            return None
+        self._fixes.append((record.t, record.gps_x, record.gps_y))
+        while self._fixes and self._fixes[0][0] < cutoff:
+            self._fixes.pop(0)
+        old = None
+        for fix in self._fixes:
+            if record.t - fix[0] >= self.baseline:
+                old = fix
+        if old is None:
+            return None
+        span = record.t - old[0]
+        v_gps = math.hypot(record.gps_x - old[1], record.gps_y - old[2]) / span
+        odom_in_span = [v for (tt, v) in self._odom if tt >= old[0]]
+        if not odom_in_span:
+            return None
+        v_odom = sum(odom_in_span) / len(odom_in_span)
+        return 1.0 - abs(v_gps - v_odom) / self.bound
+
+
+class ImuCompassConsistencyAssertion(TraceAssertion):
+    """A8 — integrated gyro rate must match the compass heading change.
+
+    Over a sliding window, the heading change implied by integrating the
+    gyro is compared with the absolute heading change reported by the
+    compass.  An injected gyro bias accumulates linearly in the window; a
+    compass spoof appears as a step while the window spans its onset.
+    """
+
+    def __init__(self, window: float = 4.0, bound: float = 0.15):
+        super().__init__(
+            "A8", "IMU / compass consistency", "consistency",
+            settle_time=2.0, debounce_on=3, debounce_off=10,
+        )
+        self.window = window
+        self.bound = bound
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._gyro_integral = 0.0
+        self._compass_unwrapped: float | None = None
+        self._buffer: list[tuple[float, float, float]] = []  # (t, gyro_int, compass)
+        self._last_t: float | None = None
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if self._last_t is not None:
+            self._gyro_integral += record.imu_yaw_rate * (record.t - self._last_t)
+        self._last_t = record.t
+
+        if self._compass_unwrapped is None:
+            self._compass_unwrapped = record.compass_yaw
+        else:
+            self._compass_unwrapped += angle_diff(
+                record.compass_yaw, self._compass_unwrapped
+            )
+        self._buffer.append((record.t, self._gyro_integral, self._compass_unwrapped))
+        cutoff = record.t - self.window
+        while self._buffer and self._buffer[0][0] < cutoff:
+            self._buffer.pop(0)
+        if self._buffer[-1][0] - self._buffer[0][0] < 0.75 * self.window:
+            return None
+        gyro_delta = self._buffer[-1][1] - self._buffer[0][1]
+        compass_delta = self._buffer[-1][2] - self._buffer[0][2]
+        return 1.0 - abs(gyro_delta - compass_delta) / self.bound
+
+
+# ---------------------------------------------------------------------------
+# Stability / progress assertions
+# ---------------------------------------------------------------------------
+class RouteProgressAssertion(TraceAssertion):
+    """A10 — when commanded to move, the (estimated) route station advances.
+
+    Over each sliding window with a meaningful commanded speed, the
+    station must advance at least a fraction of the commanded distance.
+    A frozen estimate, a stopped vehicle, or a controller chasing a
+    spoofed position all stall the station.
+    """
+
+    def __init__(self, window: float = 5.0, min_fraction: float = 0.3,
+                 min_target: float = 1.5):
+        super().__init__(
+            "A10", "route progress", "stability",
+            settle_time=_SETTLE, debounce_on=3, debounce_off=10,
+        )
+        self.window = window
+        self.min_fraction = min_fraction
+        self.min_target = min_target
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._buffer: list[tuple[float, float, float]] = []  # (t, station, target_v)
+
+    def margin(self, record: TraceRecord) -> float | None:
+        buf = self._buffer
+        if buf and record.station_est < buf[-1][1] - 10.0:
+            # Station wrapped (closed route) or projection snapped; restart.
+            buf.clear()
+        buf.append((record.t, record.station_est, record.target_speed))
+        cutoff = record.t - self.window
+        while buf and buf[0][0] < cutoff:
+            buf.pop(0)
+        span = buf[-1][0] - buf[0][0]
+        if span < 0.75 * self.window:
+            return None
+        mean_target = sum(v for _, _, v in buf) / len(buf)
+        if mean_target < self.min_target:
+            return None
+        expected = mean_target * span * self.min_fraction
+        actual = buf[-1][1] - buf[0][1]
+        return actual / expected - 1.0
+
+
+class SteeringOscillationAssertion(TraceAssertion):
+    """A11 — the steering command must not limit-cycle.
+
+    Counts deadband-filtered sign changes of the steering command's
+    deviation from its window mean; a healthy tuned loop produces well
+    under 1 Hz, while added actuation latency or excessive gain produces a
+    sustained multi-hertz oscillation.
+    """
+
+    def __init__(self, window: float = 4.0, max_rate_hz: float = 0.4,
+                 deadband: float = 0.15, min_speed: float = 2.0):
+        super().__init__(
+            "A11", "steering oscillation", "stability",
+            settle_time=_SETTLE, debounce_on=3, debounce_off=20,
+        )
+        self.window = window
+        self.max_rate_hz = max_rate_hz
+        self.deadband = deadband
+        self.min_speed = min_speed
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._buffer: list[tuple[float, float]] = []
+
+    def margin(self, record: TraceRecord) -> float | None:
+        buf = self._buffer
+        buf.append((record.t, record.steer_cmd))
+        cutoff = record.t - self.window
+        while buf and buf[0][0] < cutoff:
+            buf.pop(0)
+        span = buf[-1][0] - buf[0][0]
+        if span < 0.75 * self.window or record.est_v < self.min_speed:
+            return None
+        mean = sum(s for _, s in buf) / len(buf)
+        last_sign = 0
+        changes = 0
+        for _, s in buf:
+            dev = s - mean
+            sign = 1 if dev > self.deadband else -1 if dev < -self.deadband else 0
+            if sign != 0:
+                if last_sign != 0 and sign != last_sign:
+                    changes += 1
+                last_sign = sign
+        rate = changes / span
+        return 1.0 - rate / self.max_rate_hz
+
+
+class SteeringSaturationAssertion(TraceAssertion):
+    """A13 — the steering command must not sit at its limit for long.
+
+    Persistent saturation means the controller has lost authority
+    (divergence, an unreachable spoofed target, or a hard fault).
+    """
+
+    def __init__(self, window: float = 3.0, max_fraction: float = 0.6,
+                 steer_limit: float = 0.61):
+        super().__init__(
+            "A13", "steering saturation", "stability",
+            settle_time=_SETTLE, debounce_on=3, debounce_off=10,
+        )
+        self.window = window
+        self.max_fraction = max_fraction
+        self.threshold = 0.95 * steer_limit
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._buffer: list[tuple[float, bool]] = []
+
+    def margin(self, record: TraceRecord) -> float | None:
+        buf = self._buffer
+        buf.append((record.t, abs(record.steer_cmd) >= self.threshold))
+        cutoff = record.t - self.window
+        while buf and buf[0][0] < cutoff:
+            buf.pop(0)
+        if buf[-1][0] - buf[0][0] < 0.75 * self.window:
+            return None
+        fraction = sum(1 for _, sat in buf if sat) / len(buf)
+        return 1.0 - fraction / self.max_fraction
+
+
+class SpeedTrackingAssertion(TraceAssertion):
+    """A14 — estimated speed tracks the commanded target speed.
+
+    Window-mean of the absolute tracking error; sustained error means the
+    longitudinal loop is broken (actuation fault, gross estimator error,
+    or an infeasible speed profile).
+    """
+
+    def __init__(self, window: float = 3.0, bound: float = 2.0):
+        super().__init__(
+            "A14", "speed tracking", "behaviour",
+            settle_time=10.0, debounce_on=3, debounce_off=10,
+        )
+        self.window = window
+        self.bound = bound
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._buffer: list[tuple[float, float]] = []
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if record.target_speed < 1.0:
+            # Stopping / stopped: tracking error is dominated by the
+            # deliberate braking profile, not by a fault.
+            self._buffer.clear()
+            return None
+        if record.lead_present and record.radar_range < (
+            5.0 + 2.5 * record.est_v
+        ):
+            # ACC is (apparently) constraining the speed below the cruise
+            # profile: tracking error against the profile is expected.
+            self._buffer.clear()
+            return None
+        buf = self._buffer
+        buf.append((record.t, abs(record.est_v - record.target_speed)))
+        cutoff = record.t - self.window
+        while buf and buf[0][0] < cutoff:
+            buf.pop(0)
+        if buf[-1][0] - buf[0][0] < 0.75 * self.window:
+            return None
+        mean = sum(e for _, e in buf) / len(buf)
+        return 1.0 - mean / self.bound
+
+
+class GoalReachedAssertion(TraceAssertion):
+    """A15 — the vehicle eventually reaches the route goal (liveness).
+
+    Evaluated once at end of trace: the minimum distance-to-goal seen must
+    be below the goal radius.  Not applicable to closed (loop) routes,
+    which the engine marks with a negative ``dist_to_goal``.
+    """
+
+    def __init__(self, goal_radius: float = 3.0):
+        super().__init__(
+            "A15", "goal reached", "liveness",
+            settle_time=0.0, debounce_on=1, debounce_off=1,
+        )
+        self.goal_radius = goal_radius
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._min_dist = math.inf
+        self._applicable = False
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if record.dist_to_goal >= 0.0:
+            self._applicable = True
+            self._min_dist = min(self._min_dist, record.dist_to_goal)
+        return None
+
+    def end_margin(self, last_record: TraceRecord | None) -> float | None:
+        if not self._applicable:
+            return None
+        return 1.0 - self._min_dist / self.goal_radius
+
+
+class SafeHeadwayAssertion(TraceAssertion):
+    """A17 — keep a minimum time gap to the lead vehicle.
+
+    The fundamental car-following safety envelope: ground-truth gap over
+    ego speed must stay above a minimum headway.  Only applicable while a
+    lead vehicle is present and the ego is actually moving.
+    """
+
+    def __init__(self, min_headway: float = 1.0, min_speed: float = 2.0):
+        super().__init__(
+            "A17", "safe headway", "behaviour",
+            settle_time=_SETTLE, debounce_on=3, debounce_off=15,
+        )
+        self.min_headway = min_headway
+        self.min_speed = min_speed
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if not record.lead_present or record.true_v < self.min_speed:
+            return None
+        headway = record.gap_true / record.true_v
+        return headway / self.min_headway - 1.0
+
+
+class RadarJumpAssertion(TraceAssertion):
+    """A18 — consecutive radar ranges must be kinematically plausible.
+
+    The range to a real vehicle changes at most at the closing-speed
+    envelope; a ghost-target injection appears as a step.  The direct
+    radar analogue of the A5 GPS jump check.
+    """
+
+    def __init__(self, closing_margin: float = 10.0, base_allowance: float = 1.5):
+        super().__init__(
+            "A18", "radar range plausibility", "consistency",
+            settle_time=2.0, debounce_on=1, debounce_off=5,
+        )
+        self.closing_margin = closing_margin
+        self.base_allowance = base_allowance
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._prev: tuple[float, float] | None = None  # (t, range)
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if not record.lead_present or not record.radar_fresh:
+            return None
+        prev = self._prev
+        self._prev = (record.t, record.radar_range)
+        if prev is None:
+            return None
+        dt_track = record.t - prev[0]
+        if dt_track <= 0 or dt_track > 1.0:
+            # Track was lost for a while; a re-acquire jump is legitimate.
+            return None
+        delta = abs(record.radar_range - prev[1])
+        bound = ((record.odom_speed + self.closing_margin) * dt_track
+                 + self.base_allowance)
+        return 1.0 - delta / bound
+
+
+class RadarRateConsistencyAssertion(TraceAssertion):
+    """A19 — the radar's range derivative must match its range-rate.
+
+    A radar track carries redundant information: differentiating the
+    range over a short window must reproduce the reported Doppler
+    range-rate.  Scaling attacks break exactly this self-consistency
+    whenever the relative speed is non-zero.
+    """
+
+    def __init__(self, window: float = 1.5, bound: float = 0.9):
+        super().__init__(
+            "A19", "radar range-rate consistency", "consistency",
+            settle_time=2.0, debounce_on=3, debounce_off=10,
+        )
+        self.window = window
+        self.bound = bound
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._tracks: list[tuple[float, float, float]] = []  # (t, range, rate)
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if not record.lead_present or not record.radar_fresh:
+            return None
+        tracks = self._tracks
+        if tracks and record.t - tracks[-1][0] > 1.0:
+            tracks.clear()  # track dropout: restart the window
+        tracks.append((record.t, record.radar_range, record.radar_range_rate))
+        cutoff = record.t - self.window
+        while tracks and tracks[0][0] < cutoff:
+            tracks.pop(0)
+        span = tracks[-1][0] - tracks[0][0]
+        if span < 0.75 * self.window:
+            return None
+        slope = (tracks[-1][1] - tracks[0][1]) / span
+        mean_rate = sum(rate for _, _, rate in tracks) / len(tracks)
+        return 1.0 - abs(slope - mean_rate) / self.bound
+
+
+class ControlResponsivenessAssertion(TraceAssertion):
+    """A20 — a persistent tracking error must provoke a steering response.
+
+    Authored during the E13 refinement round: a deadband/truncation defect
+    leaves the vehicle riding a steady sub-meter offset that every other
+    assertion tolerates.  The signature is *silence where action is due*:
+    the estimated cross-track error stays elevated over a window while the
+    steering command remains (near) zero.
+    """
+
+    def __init__(self, window: float = 3.0, cte_threshold: float = 0.55,
+                 min_response: float = 0.02, min_speed: float = 2.0):
+        super().__init__(
+            "A20", "control responsiveness", "stability",
+            settle_time=_SETTLE, debounce_on=3, debounce_off=15,
+        )
+        self.window = window
+        self.cte_threshold = cte_threshold
+        self.min_response = min_response
+        self.min_speed = min_speed
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._buffer: list[tuple[float, float, float]] = []  # (t, |cte|, |steer|)
+
+    def margin(self, record: TraceRecord) -> float | None:
+        buf = self._buffer
+        buf.append((record.t, abs(record.cte_est), abs(record.steer_cmd)))
+        cutoff = record.t - self.window
+        while buf and buf[0][0] < cutoff:
+            buf.pop(0)
+        if buf[-1][0] - buf[0][0] < 0.75 * self.window:
+            return None
+        if record.est_v < self.min_speed:
+            return None
+        mean_cte = sum(c for _, c, _ in buf) / len(buf)
+        if mean_cte < self.cte_threshold:
+            return None
+        max_response = max(s for _, _, s in buf)
+        return max_response / self.min_response - 1.0
+
+
+class ActuationConsistencyAssertion(TraceAssertion):
+    """A16 — the measured actuator state matches the commanded one.
+
+    Runs a reference model of the steering actuator (first-order lag +
+    rate limit + saturation, using the published actuator datasheet
+    parameters) on the command stream and compares it with the measured
+    steering angle.  Offsets, stuck actuators and in-path command
+    tampering all break the match; the closed loop hides them from every
+    behavioural assertion.
+    """
+
+    def __init__(self, tolerance: float = 0.03, steer_tau: float = 0.15,
+                 rate_max: float = 0.8, steer_max: float = 0.61):
+        super().__init__(
+            "A16", "actuation consistency", "actuation",
+            settle_time=2.0, debounce_on=4, debounce_off=10,
+        )
+        self.tolerance = tolerance
+        self.steer_tau = steer_tau
+        self.rate_max = rate_max
+        self.steer_max = steer_max
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._model_steer = 0.0
+        self._last_t: float | None = None
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if self._last_t is None:
+            self._last_t = record.t
+            self._model_steer = record.steer_applied
+            return None
+        dt = record.t - self._last_t
+        self._last_t = record.t
+        target = min(max(record.steer_cmd, -self.steer_max), self.steer_max)
+        if self.steer_tau > 0:
+            alpha = 1.0 - math.exp(-dt / self.steer_tau)
+            desired = self._model_steer + alpha * (target - self._model_steer)
+        else:
+            desired = target
+        delta = min(max(desired - self._model_steer, -self.rate_max * dt),
+                    self.rate_max * dt)
+        self._model_steer = min(max(self._model_steer + delta, -self.steer_max),
+                                self.steer_max)
+        error = abs(record.steer_applied - self._model_steer)
+        return 1.0 - error / self.tolerance
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+def _make_a1() -> TraceAssertion:
+    # 2.5 m keeps the vehicle inside a standard 3.5 m lane with margin.
+    return BoundAssertion(
+        "A1", "cross-track bound", channel="cte_true", bound=2.5,
+        category="behaviour", settle_time=_SETTLE, debounce_on=3, debounce_off=20,
+    )
+
+
+def _make_a2() -> TraceAssertion:
+    return BoundAssertion(
+        "A2", "heading-error bound", channel="heading_err_true", bound=0.5,
+        category="behaviour", settle_time=_SETTLE, debounce_on=3, debounce_off=20,
+    )
+
+
+def _make_a3() -> TraceAssertion:
+    # Sustained tracking quality: 5 s mean |cte| stays under 1.2 m.
+    return WindowMeanBoundAssertion(
+        "A3", "cross-track convergence", channel="cte_true", bound=1.2,
+        window=5.0, category="behaviour", settle_time=_SETTLE + 2.0,
+        debounce_on=2, debounce_off=20,
+    )
+
+
+def _make_a9g() -> TraceAssertion:
+    # 2-dof chi-square mean is 2; a 1.5 s mean above 7 is far outside the
+    # nominal envelope while tolerating individual spikes.
+    return WindowMeanBoundAssertion(
+        "A9G", "EKF GPS innovation bound", channel="nis_gps", bound=7.0,
+        window=1.5, category="consistency", settle_time=3.0,
+        debounce_on=2, debounce_off=10,
+    )
+
+
+def _make_a9s() -> TraceAssertion:
+    return WindowMeanBoundAssertion(
+        "A9S", "EKF speed innovation bound", channel="nis_speed", bound=5.0,
+        window=1.5, category="consistency", settle_time=3.0,
+        debounce_on=2, debounce_off=10,
+    )
+
+
+def _make_a9c() -> TraceAssertion:
+    return WindowMeanBoundAssertion(
+        "A9C", "EKF heading innovation bound", channel="nis_compass", bound=5.0,
+        window=1.5, category="consistency", settle_time=3.0,
+        debounce_on=2, debounce_off=10,
+    )
+
+
+def _make_a12() -> TraceAssertion:
+    """Lateral-acceleration comfort/safety envelope from observables."""
+
+    class LateralAccelAssertion(TraceAssertion):
+        def __init__(self) -> None:
+            super().__init__(
+                "A12", "lateral acceleration bound", "behaviour",
+                settle_time=_SETTLE, debounce_on=3, debounce_off=15,
+            )
+
+        def margin(self, record: TraceRecord) -> float:
+            lat = abs(record.est_v * record.imu_yaw_rate)
+            return 1.0 - lat / 4.5
+
+    return LateralAccelAssertion()
+
+
+_FACTORIES: dict[str, object] = {
+    "A1": _make_a1,
+    "A2": _make_a2,
+    "A3": _make_a3,
+    "A4": GpsDeadReckoningAssertion,
+    "A5": GpsJumpAssertion,
+    "A6": GpsFreezeAssertion,
+    "A7": SpeedConsistencyAssertion,
+    "A8": ImuCompassConsistencyAssertion,
+    "A9G": _make_a9g,
+    "A9S": _make_a9s,
+    "A9C": _make_a9c,
+    "A10": RouteProgressAssertion,
+    "A11": SteeringOscillationAssertion,
+    "A12": _make_a12,
+    "A13": SteeringSaturationAssertion,
+    "A14": SpeedTrackingAssertion,
+    "A15": GoalReachedAssertion,
+    "A16": ActuationConsistencyAssertion,
+    "A17": SafeHeadwayAssertion,
+    "A18": RadarJumpAssertion,
+    "A19": RadarRateConsistencyAssertion,
+    "A20": ControlResponsivenessAssertion,
+}
+
+CATALOG_IDS: tuple[str, ...] = tuple(_FACTORIES)
+"""All assertion ids, in catalog order."""
+
+CATALOG_STAGES: dict[str, tuple[str, ...]] = {
+    "behavioural": ("A1", "A2", "A3", "A12", "A14", "A15"),
+    "gps_consistency": ("A4", "A5", "A6", "A7"),
+    "inertial_innovation": ("A8", "A9G", "A9S", "A9C"),
+    "stability_actuation": ("A10", "A11", "A13", "A16", "A20"),
+    "radar_acc": ("A17", "A18", "A19"),
+}
+"""The methodology's staged catalog growth (E9 refinement loop order)."""
+
+
+def make_assertion(assertion_id: str) -> TraceAssertion:
+    """A fresh instance of one catalog assertion by id."""
+    if assertion_id not in _FACTORIES:
+        raise ValueError(
+            f"unknown assertion id {assertion_id!r}; "
+            f"expected one of {list(CATALOG_IDS)}"
+        )
+    return _FACTORIES[assertion_id]()
+
+
+def default_catalog(ids: tuple[str, ...] | list[str] | None = None) -> list[TraceAssertion]:
+    """Fresh instances of the full catalog (or a subset by id)."""
+    selected = CATALOG_IDS if ids is None else tuple(ids)
+    return [make_assertion(aid) for aid in selected]

@@ -1,0 +1,35 @@
+"""Offline trace checker: the post-hoc debugging entry point."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.catalog import default_catalog
+from repro.core.dsl import TraceAssertion
+from repro.core.monitor import OnlineMonitor
+from repro.core.verdicts import CheckReport
+from repro.trace.schema import Trace
+
+__all__ = ["check_trace"]
+
+
+def check_trace(
+    trace: Trace, assertions: Sequence[TraceAssertion] | None = None
+) -> CheckReport:
+    """Evaluate assertions over a recorded trace.
+
+    Args:
+        trace: a recorded run (live, or loaded via :mod:`repro.trace.io`).
+        assertions: the assertion set (default: the full built-in catalog).
+            Instances are reset before use, so a list can be reused across
+            calls.
+
+    Returns:
+        A :class:`~repro.core.verdicts.CheckReport` with every violation
+        episode and per-assertion summaries.
+    """
+    if assertions is None:
+        assertions = default_catalog()
+    monitor = OnlineMonitor(assertions)
+    monitor.feed_all(trace)
+    return monitor.finish(trace)

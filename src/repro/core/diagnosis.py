@@ -1,0 +1,219 @@
+"""Root-cause diagnosis from assertion evidence.
+
+Given a check report (which assertions fired, how strongly) and the
+cause/assertion knowledge base, rank candidate causes by Bayesian
+likelihood under an independent-assertions noisy observation model:
+
+    P(evidence | cause) = prod_a  p_a^e_a * (1 - p_a)^(1 - e_a)
+
+with ``p_a`` the cause's fire probability for assertion ``a`` (floored at
+the false-positive rate) and ``e_a`` the binarized evidence.  Evidence
+strengths refine the binary model: a weakly fired assertion contributes a
+fractional exponent, so marginal blips neither fully confirm nor fully
+contradict a profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.knowledge import KnowledgeBase, default_knowledge_base
+from repro.core.verdicts import CheckReport
+
+__all__ = ["Diagnosis", "DiagnosisResult", "MultiDiagnosis", "diagnose",
+           "diagnose_multi"]
+
+_EVIDENCE_THRESHOLD = 0.12
+"""Minimum strength for an assertion to count as (partially) fired."""
+
+_PROB_FLOOR = 0.02
+_PROB_CEIL = 0.98
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnosis:
+    """One ranked candidate cause."""
+
+    cause: str
+    description: str
+    log_likelihood: float
+    posterior: float
+    """Posterior under a uniform prior over the knowledge-base causes."""
+    supporting: tuple[str, ...]
+    """Fired assertions this cause predicts (its confirming evidence)."""
+    contradicting: tuple[str, ...]
+    """Expected-but-silent assertions (evidence against this cause)."""
+
+
+@dataclass(slots=True)
+class DiagnosisResult:
+    """Ranked diagnosis for one run."""
+
+    ranking: list[Diagnosis]
+    evidence: dict[str, float]
+
+    def top(self) -> Diagnosis:
+        return self.ranking[0]
+
+    def rank_of(self, cause: str) -> int | None:
+        """1-based rank of a cause, or None if it is not in the ranking."""
+        for i, d in enumerate(self.ranking):
+            if d.cause == cause:
+                return i + 1
+        return None
+
+    def top_k(self, k: int) -> list[str]:
+        return [d.cause for d in self.ranking[:k]]
+
+    @property
+    def confident(self) -> bool:
+        """True when the top cause clearly separates from the runner-up."""
+        if len(self.ranking) < 2:
+            return True
+        return self.ranking[0].posterior >= 2.0 * self.ranking[1].posterior
+
+
+def _clip(p: float) -> float:
+    return min(max(p, _PROB_FLOOR), _PROB_CEIL)
+
+
+def diagnose(
+    report: CheckReport, kb: KnowledgeBase | None = None
+) -> DiagnosisResult:
+    """Rank the knowledge base's causes against a check report.
+
+    Args:
+        report: output of :func:`repro.core.checker.check_trace` (or an
+            online monitor's :meth:`finish`).
+        kb: knowledge base (default: the built-in attack profiles).
+
+    Returns:
+        A :class:`DiagnosisResult`, ranked most likely cause first.
+    """
+    if kb is None:
+        kb = default_knowledge_base()
+    return _rank_evidence(report.evidence(), kb)
+
+
+def _rank_evidence(evidence: dict[str, float],
+                   kb: KnowledgeBase) -> DiagnosisResult:
+    scored: list[Diagnosis] = []
+    for profile in kb.profiles():
+        log_l = 0.0
+        supporting: list[str] = []
+        contradicting: list[str] = []
+        for assertion_id, strength in evidence.items():
+            p = _clip(profile.prob(assertion_id))
+            if strength >= _EVIDENCE_THRESHOLD:
+                # Fractional-exponent interpolation between "fired" and
+                # "not fired" keeps weak evidence weak.
+                w = min(strength, 1.0)
+                log_l += w * math.log(p) + (1.0 - w) * math.log(1.0 - p)
+                if profile.prob(assertion_id) > 0.3:
+                    supporting.append(assertion_id)
+            else:
+                log_l += math.log(1.0 - p)
+                if profile.prob(assertion_id) >= 0.6:
+                    contradicting.append(assertion_id)
+        scored.append(
+            Diagnosis(
+                cause=profile.cause,
+                description=profile.description,
+                log_likelihood=log_l,
+                posterior=0.0,  # filled in below
+                supporting=tuple(supporting),
+                contradicting=tuple(contradicting),
+            )
+        )
+
+    # Posterior under a uniform prior (log-sum-exp for stability).
+    max_ll = max(d.log_likelihood for d in scored)
+    total = sum(math.exp(d.log_likelihood - max_ll) for d in scored)
+    import dataclasses
+
+    scored = [
+        dataclasses.replace(
+            d, posterior=math.exp(d.log_likelihood - max_ll) / total
+        )
+        for d in scored
+    ]
+    scored.sort(key=lambda d: d.log_likelihood, reverse=True)
+    return DiagnosisResult(ranking=scored, evidence=evidence)
+
+
+@dataclass(slots=True)
+class MultiDiagnosis:
+    """Result of the iterative multi-cause diagnosis."""
+
+    causes: list[Diagnosis]
+    """Accepted causes, in explanation order (strongest first)."""
+    residual_evidence: dict[str, float]
+    """Evidence left unexplained after all accepted causes."""
+    rounds: list[DiagnosisResult]
+    """The per-round single-cause rankings (for inspection)."""
+
+    @property
+    def cause_set(self) -> frozenset[str]:
+        return frozenset(d.cause for d in self.causes)
+
+    @property
+    def fully_explained(self) -> bool:
+        """True when no strong evidence remains unexplained."""
+        return all(s < _EVIDENCE_THRESHOLD
+                   for s in self.residual_evidence.values())
+
+
+def diagnose_multi(
+    report: CheckReport,
+    kb: KnowledgeBase | None = None,
+    max_causes: int = 3,
+    explain_prob: float = 0.3,
+) -> MultiDiagnosis:
+    """Iterative explain-away diagnosis for *concurrent* faults.
+
+    A single-cause ranking degrades when two faults superpose (E11): the
+    dominant cause's evidence swamps the other's. This greedy loop fixes
+    that: accept the top-ranked cause, remove the evidence it predicts
+    (fire probability >= ``explain_prob``), and re-rank the *residual*
+    evidence — repeating until nothing strong remains or ``none`` wins.
+
+    Args:
+        report: the check report.
+        kb: knowledge base (default: the built-in attack profiles).
+        max_causes: upper bound on accepted causes.
+        explain_prob: an accepted cause explains the assertions it
+            predicts with at least this probability.
+
+    Returns:
+        A :class:`MultiDiagnosis`; for a single-fault run its
+        ``cause_set`` matches the single-cause top-1.
+    """
+    if kb is None:
+        kb = default_knowledge_base()
+    if max_causes < 1:
+        raise ValueError("max_causes must be >= 1")
+
+    remaining = dict(report.evidence())
+    causes: list[Diagnosis] = []
+    rounds: list[DiagnosisResult] = []
+    for _ in range(max_causes):
+        if all(s < _EVIDENCE_THRESHOLD for s in remaining.values()):
+            break
+        result = _rank_evidence(remaining, kb)
+        rounds.append(result)
+        top = result.top()
+        if top.cause == "none":
+            break
+        causes.append(top)
+        profile = kb.profile(top.cause)
+        # Explained assertions are *removed*, not zeroed: zeroing would
+        # make evidence the first cause already accounts for count as
+        # contradicting silence against every later candidate.
+        for aid, strength in list(remaining.items()):
+            if strength >= _EVIDENCE_THRESHOLD and (
+                profile.prob(aid) >= explain_prob
+            ):
+                del remaining[aid]
+    return MultiDiagnosis(causes=causes, residual_evidence=remaining,
+                          rounds=rounds)

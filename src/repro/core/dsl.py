@@ -1,0 +1,330 @@
+"""Assertion base class and authoring combinators.
+
+An assertion is a *stateful margin monitor*: each trace record is mapped to
+a normalized margin (``>= 0`` satisfied, ``< 0`` violated, ``None`` not
+applicable at this step), and the base class turns the margin stream into
+debounced violation *episodes*.  Margins are normalized by the assertion's
+threshold, so ``-0.5`` always means "50% beyond the bound" regardless of
+the underlying physical unit — which makes severities comparable across
+the catalog and keeps the diagnosis engine unit-free.
+
+The same objects serve the online monitor and the offline checker; both
+simply call :meth:`TraceAssertion.step` per record and
+:meth:`TraceAssertion.finish` at the end.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+
+from repro.core.verdicts import AssertionSummary, Violation
+from repro.trace.schema import TraceRecord
+
+__all__ = [
+    "TraceAssertion",
+    "BoundAssertion",
+    "WindowMeanBoundAssertion",
+    "FunctionAssertion",
+]
+
+
+class TraceAssertion(abc.ABC):
+    """Base class: margin computation + episode/debounce machinery.
+
+    Args:
+        assertion_id: short stable identifier (e.g. ``"A1"``).
+        name: human-readable name.
+        category: one of ``behaviour``, ``consistency``, ``actuation``,
+            ``stability``, ``liveness`` (used by ablations and reports).
+        settle_time: seconds at the start of the trace during which the
+            assertion is not evaluated (launch transient).
+        debounce_on: consecutive violating evaluations required to open an
+            episode (suppresses single-sample noise).
+        debounce_off: consecutive satisfied evaluations required to close
+            an episode.
+    """
+
+    def __init__(
+        self,
+        assertion_id: str,
+        name: str,
+        category: str,
+        settle_time: float = 0.0,
+        debounce_on: int = 3,
+        debounce_off: int = 10,
+    ):
+        if debounce_on < 1 or debounce_off < 1:
+            raise ValueError("debounce counts must be >= 1")
+        self.assertion_id = assertion_id
+        self.name = name
+        self.category = category
+        self.settle_time = settle_time
+        self.debounce_on = debounce_on
+        self.debounce_off = debounce_off
+        self.bound_scale = 1.0
+        self._reset_episode_state()
+
+    def scale_bound(self, factor: float) -> "TraceAssertion":
+        """Relax (>1) or tighten (<1) the effective threshold.
+
+        Margins of the form ``1 - value/bound`` transform exactly as
+        ``m' = 1 - (1 - m)/factor`` when the bound is scaled by ``factor``;
+        the calibrator (:mod:`repro.core.tuning`) uses this to fit nominal
+        headroom without knowing each assertion's internal threshold
+        attribute.  Returns ``self`` for chaining.
+        """
+        if factor <= 0:
+            raise ValueError("bound_scale factor must be positive")
+        self.bound_scale = factor
+        return self
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def margin(self, record: TraceRecord) -> float | None:
+        """Normalized margin at this record (None = not applicable)."""
+
+    def on_reset(self) -> None:
+        """Clear subclass state (called by :meth:`reset`)."""
+
+    def end_margin(self, last_record: TraceRecord | None) -> float | None:
+        """Optional end-of-trace check (liveness assertions override).
+
+        A negative return value opens (and closes) a final episode at the
+        last record's timestamp.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Engine-facing interface
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Prepare for a new trace."""
+        self._reset_episode_state()
+        self.on_reset()
+
+    def step(self, record: TraceRecord) -> Violation | None:
+        """Process one record; returns a violation iff an episode *closed*.
+
+        The margin is computed at *every* step so stateful assertions
+        observe the full trace; verdicts inside the settle window are
+        discarded (launch transient).  Episodes still open when the trace
+        ends are closed by :meth:`finish`.
+        """
+        self._last_step_t = record.t
+        m = self.margin(record)
+        if record.t < self.settle_time:
+            return None
+        if m is None:
+            return None
+        if self.bound_scale != 1.0:
+            m = 1.0 - (1.0 - m) / self.bound_scale
+        self._evaluated = True
+        self._worst_overall = min(self._worst_overall, m)
+        if m < 0.0:
+            self._bad_streak += 1
+            self._good_streak = 0
+            if self._episode_start is None and self._bad_streak >= self.debounce_on:
+                self._episode_start = record.t
+                self._episode_worst = m
+            elif self._episode_start is not None:
+                self._episode_worst = min(self._episode_worst, m)
+            if self._episode_start is None:
+                # Remember the depth of a forming episode so debounce does
+                # not erase the worst sample.
+                self._pending_worst = min(self._pending_worst, m)
+        else:
+            self._good_streak += 1
+            self._bad_streak = 0
+            self._pending_worst = 0.0
+            if self._episode_start is not None and (
+                self._good_streak >= self.debounce_off
+            ):
+                return self._close_episode(record.t)
+        return None
+
+    def finish(self, last_record: TraceRecord | None) -> list[Violation]:
+        """Close any open episode and run the end-of-trace check."""
+        out: list[Violation] = []
+        if self._episode_start is not None:
+            # _close_episode records the violation itself.
+            out.append(self._close_episode(self._last_step_t))
+        if last_record is not None and last_record.t >= self.settle_time:
+            end_m = self.end_margin(last_record)
+            if end_m is not None:
+                self._evaluated = True
+                self._worst_overall = min(self._worst_overall, end_m)
+                if end_m < 0.0:
+                    violation = Violation(
+                        assertion_id=self.assertion_id,
+                        name=self.name,
+                        category=self.category,
+                        t_start=last_record.t,
+                        t_end=last_record.t,
+                        worst_margin=end_m,
+                        message=f"{self.name}: end-of-trace check failed",
+                    )
+                    self._closed_violations.append(violation)
+                    out.append(violation)
+        return out
+
+    @property
+    def violations(self) -> list[Violation]:
+        """All episodes closed since the last :meth:`reset` (time order)."""
+        return list(self._closed_violations)
+
+    def summarize(self) -> AssertionSummary:
+        """Aggregate everything seen since the last :meth:`reset`."""
+        violations = self._closed_violations
+        first_t = min((v.t_start for v in violations), default=None)
+        total = sum(v.duration for v in violations)
+        return AssertionSummary(
+            assertion_id=self.assertion_id,
+            name=self.name,
+            category=self.category,
+            fired=bool(violations),
+            episodes=len(violations),
+            first_violation_t=first_t,
+            total_violation_time=total,
+            worst_margin=self._worst_overall if self._evaluated else 0.0,
+            evaluated=self._evaluated,
+        )
+
+    # ------------------------------------------------------------------
+    def _reset_episode_state(self) -> None:
+        self._bad_streak = 0
+        self._good_streak = 0
+        self._episode_start: float | None = None
+        self._episode_worst = 0.0
+        self._pending_worst = 0.0
+        self._worst_overall = float("inf")
+        self._evaluated = False
+        self._last_step_t = 0.0
+        self._closed_violations: list[Violation] = []
+
+    def _close_episode(self, t_end: float) -> Violation:
+        assert self._episode_start is not None
+        violation = Violation(
+            assertion_id=self.assertion_id,
+            name=self.name,
+            category=self.category,
+            t_start=self._episode_start,
+            t_end=t_end,
+            worst_margin=min(self._episode_worst, self._pending_worst),
+            message=f"{self.name} violated "
+                    f"(worst margin {self._episode_worst:+.2f})",
+        )
+        self._episode_start = None
+        self._episode_worst = 0.0
+        self._pending_worst = 0.0
+        self._closed_violations.append(violation)
+        return violation
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.assertion_id}: {self.name!r})"
+
+
+class BoundAssertion(TraceAssertion):
+    """``|channel| <= bound`` at every step — the simplest assertion form."""
+
+    def __init__(
+        self,
+        assertion_id: str,
+        name: str,
+        channel: str,
+        bound: float,
+        category: str = "behaviour",
+        settle_time: float = 0.0,
+        **kwargs,
+    ):
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        super().__init__(assertion_id, name, category, settle_time, **kwargs)
+        self.channel = channel
+        self.bound = bound
+
+    def margin(self, record: TraceRecord) -> float:
+        value = getattr(record, self.channel)
+        return 1.0 - abs(value) / self.bound
+
+
+class WindowMeanBoundAssertion(TraceAssertion):
+    """Mean of ``|channel|`` over a sliding time window stays below a bound.
+
+    Catches sustained degradation that per-sample bounds miss (and is
+    immune to isolated spikes).
+    """
+
+    def __init__(
+        self,
+        assertion_id: str,
+        name: str,
+        channel: str,
+        bound: float,
+        window: float,
+        category: str = "behaviour",
+        settle_time: float = 0.0,
+        **kwargs,
+    ):
+        if bound <= 0 or window <= 0:
+            raise ValueError("bound and window must be positive")
+        super().__init__(assertion_id, name, category, settle_time, **kwargs)
+        self.channel = channel
+        self.bound = bound
+        self.window = window
+        self._buffer: list[tuple[float, float]] = []
+
+    def on_reset(self) -> None:
+        self._buffer = []
+
+    def margin(self, record: TraceRecord) -> float | None:
+        value = abs(getattr(record, self.channel))
+        self._buffer.append((record.t, value))
+        cutoff = record.t - self.window
+        while self._buffer and self._buffer[0][0] < cutoff:
+            self._buffer.pop(0)
+        if self._buffer[-1][0] - self._buffer[0][0] < 0.5 * self.window:
+            return None  # window not filled yet
+        mean = sum(v for _, v in self._buffer) / len(self._buffer)
+        return 1.0 - mean / self.bound
+
+
+class FunctionAssertion(TraceAssertion):
+    """Wrap a plain function as an assertion — the DSL's escape hatch.
+
+    The function receives the record and a mutable state dict (empty at
+    each reset) and returns a normalized margin or ``None``::
+
+        def no_reverse(record, state):
+            return record.est_v + 0.5  # violated if estimate goes backward
+
+        assertion = FunctionAssertion("U1", "no reverse", no_reverse)
+    """
+
+    def __init__(
+        self,
+        assertion_id: str,
+        name: str,
+        fn: Callable[[TraceRecord, dict], float | None],
+        category: str = "custom",
+        settle_time: float = 0.0,
+        end_fn: Callable[[TraceRecord, dict], float | None] | None = None,
+        **kwargs,
+    ):
+        super().__init__(assertion_id, name, category, settle_time, **kwargs)
+        self._fn = fn
+        self._end_fn = end_fn
+        self._state: dict = {}
+
+    def on_reset(self) -> None:
+        self._state = {}
+
+    def margin(self, record: TraceRecord) -> float | None:
+        return self._fn(record, self._state)
+
+    def end_margin(self, last_record: TraceRecord | None) -> float | None:
+        if self._end_fn is None or last_record is None:
+            return None
+        return self._end_fn(last_record, self._state)

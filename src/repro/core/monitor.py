@@ -1,0 +1,91 @@
+"""Online assertion monitor.
+
+Feeds records to a set of assertions as they are produced and surfaces
+violations the moment their episodes close.  The offline checker wraps the
+same monitor, which is what guarantees identical online/offline verdicts
+(tested in ``tests/test_core_checker.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.dsl import TraceAssertion
+from repro.core.verdicts import CheckReport, Violation
+from repro.trace.schema import Trace, TraceRecord
+
+__all__ = ["OnlineMonitor"]
+
+
+class OnlineMonitor:
+    """Evaluates a set of assertions over a stream of trace records.
+
+    Usage::
+
+        monitor = OnlineMonitor(default_catalog())
+        for record in live_records:
+            for violation in monitor.feed(record):
+                alert(violation)
+        report = monitor.finish()
+    """
+
+    def __init__(self, assertions: Sequence[TraceAssertion]):
+        ids = [a.assertion_id for a in assertions]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate assertion ids: {ids}")
+        self.assertions = list(assertions)
+        for assertion in self.assertions:
+            assertion.reset()
+        self._last_record: TraceRecord | None = None
+        self._finished = False
+
+    def feed(self, record: TraceRecord) -> list[Violation]:
+        """Process one record; returns episodes that closed at this step."""
+        if self._finished:
+            raise RuntimeError("monitor already finished; create a new one")
+        self._last_record = record
+        violations = []
+        for assertion in self.assertions:
+            v = assertion.step(record)
+            if v is not None:
+                violations.append(v)
+        return violations
+
+    def feed_all(self, records: Iterable[TraceRecord]) -> list[Violation]:
+        """Feed many records; returns all episodes closed along the way."""
+        out: list[Violation] = []
+        for record in records:
+            out.extend(self.feed(record))
+        return out
+
+    def finish(self, trace: Trace | None = None) -> CheckReport:
+        """Close open episodes, run end-of-trace checks, build the report.
+
+        Args:
+            trace: optionally attach the trace's metadata to the report
+                (pass the trace the records came from).
+        """
+        if self._finished:
+            raise RuntimeError("monitor already finished")
+        self._finished = True
+        all_violations: list[Violation] = []
+        for assertion in self.assertions:
+            assertion.finish(self._last_record)
+        summaries = {}
+        for assertion in self.assertions:
+            summary = assertion.summarize()
+            summaries[assertion.assertion_id] = summary
+            all_violations.extend(assertion.violations)
+        all_violations.sort(key=lambda v: (v.t_start, v.assertion_id))
+        meta = trace.meta if trace is not None else None
+        duration = trace.duration if trace is not None else (
+            self._last_record.t if self._last_record else 0.0
+        )
+        return CheckReport(
+            scenario=meta.scenario if meta else "",
+            controller=meta.controller if meta else "",
+            attack_label=meta.attack if meta else "",
+            duration=duration,
+            violations=all_violations,
+            summaries=summaries,
+        )

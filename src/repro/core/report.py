@@ -1,0 +1,67 @@
+"""Human-readable debugging reports (plain text, terminal-friendly)."""
+
+from __future__ import annotations
+
+from repro.core.diagnosis import DiagnosisResult
+from repro.core.verdicts import CheckReport
+
+__all__ = ["render_check_report", "render_diagnosis"]
+
+
+def render_check_report(report: CheckReport, max_violations: int = 20) -> str:
+    """Render a check report as the debugging summary a user reads first."""
+    lines = [
+        f"ADAssure check report — scenario={report.scenario or '?'} "
+        f"controller={report.controller or '?'} attack={report.attack_label or '?'}",
+        f"trace duration: {report.duration:.1f} s",
+        "",
+    ]
+    fired = [s for s in report.summaries.values() if s.fired]
+    held = [s for s in report.summaries.values() if not s.fired]
+    if not fired:
+        lines.append("all assertions held — no anomaly detected")
+    else:
+        lines.append(f"{len(fired)} assertion(s) fired, {len(held)} held:")
+        fired.sort(key=lambda s: s.first_violation_t or 0.0)
+        for s in fired:
+            lines.append(
+                f"  {s.assertion_id:<4} {s.name:<34} "
+                f"first at t={s.first_violation_t:6.1f} s  "
+                f"episodes={s.episodes:<3d} violated {s.total_violation_time:5.1f} s  "
+                f"worst margin {s.worst_margin:+.2f}"
+            )
+        lines.append("")
+        lines.append("violation episodes (time order):")
+        for v in report.violations[:max_violations]:
+            lines.append(
+                f"  [{v.t_start:6.1f} .. {v.t_end:6.1f}] {v.assertion_id:<4} "
+                f"{v.name} (severity {v.severity:.2f})"
+            )
+        if len(report.violations) > max_violations:
+            lines.append(
+                f"  ... and {len(report.violations) - max_violations} more"
+            )
+    return "\n".join(lines)
+
+
+def render_diagnosis(result: DiagnosisResult, top_k: int = 4) -> str:
+    """Render a diagnosis ranking with its supporting evidence."""
+    lines = ["ADAssure root-cause ranking:"]
+    for i, d in enumerate(result.ranking[:top_k], start=1):
+        marker = "=>" if i == 1 else "  "
+        lines.append(
+            f" {marker} {i}. {d.cause:<16} posterior={d.posterior:6.1%}  "
+            f"({d.description})"
+        )
+        if d.supporting:
+            lines.append(f"        supported by: {', '.join(d.supporting)}")
+        if d.contradicting:
+            lines.append(
+                f"        expected but silent: {', '.join(d.contradicting)}"
+            )
+    if not result.confident and len(result.ranking) >= 2:
+        lines.append(
+            "    note: top causes are close — ambiguous diagnosis; "
+            "consider authoring a separating assertion (see methodology)."
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Persistable catalog configurations.
+
+A deployment of ADAssure tunes which assertions run and at what effective
+thresholds (typically via :mod:`repro.core.tuning` on a nominal corpus).
+``CatalogSpec`` captures that configuration as a plain JSON document so it
+can be versioned next to the vehicle software and reloaded on the bench:
+
+    spec = CatalogSpec.from_calibration(calibrate_catalog(nominal_traces))
+    spec.save("catalog_spec.json")
+    ...
+    assertions = CatalogSpec.load("catalog_spec.json").build()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.catalog import CATALOG_IDS, default_catalog
+from repro.core.dsl import TraceAssertion
+from repro.core.tuning import CalibrationResult
+
+__all__ = ["AssertionSpec", "CatalogSpec"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class AssertionSpec:
+    """Configuration of one assertion."""
+
+    assertion_id: str
+    enabled: bool = True
+    bound_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.assertion_id not in CATALOG_IDS:
+            raise ValueError(f"unknown assertion id {self.assertion_id!r}")
+        if self.bound_scale <= 0:
+            raise ValueError("bound_scale must be positive")
+
+
+@dataclass(slots=True)
+class CatalogSpec:
+    """A named, serializable assertion-catalog configuration."""
+
+    description: str = ""
+    specs: dict[str, AssertionSpec] = field(default_factory=dict)
+
+    @staticmethod
+    def default() -> "CatalogSpec":
+        """The stock catalog: everything enabled, unscaled."""
+        return CatalogSpec(
+            description="stock catalog",
+            specs={aid: AssertionSpec(aid) for aid in CATALOG_IDS},
+        )
+
+    @staticmethod
+    def from_calibration(result: CalibrationResult,
+                         description: str = "") -> "CatalogSpec":
+        """A spec carrying the calibrator's bound scales."""
+        specs = {}
+        for aid in CATALOG_IDS:
+            headroom = result.headrooms.get(aid)
+            specs[aid] = AssertionSpec(
+                aid, bound_scale=headroom.scale if headroom else 1.0
+            )
+        return CatalogSpec(
+            description=description or (
+                f"calibrated on {result.corpus_size} nominal trace(s), "
+                f"target headroom {result.target_headroom}"
+            ),
+            specs=specs,
+        )
+
+    # ------------------------------------------------------------------
+    def set(self, assertion_id: str, enabled: bool | None = None,
+            bound_scale: float | None = None) -> None:
+        """Override one assertion's configuration."""
+        current = self.specs.get(assertion_id, AssertionSpec(assertion_id))
+        self.specs[assertion_id] = AssertionSpec(
+            assertion_id,
+            enabled=current.enabled if enabled is None else enabled,
+            bound_scale=(current.bound_scale if bound_scale is None
+                         else bound_scale),
+        )
+
+    def enabled_ids(self) -> list[str]:
+        return [aid for aid in CATALOG_IDS
+                if self.specs.get(aid, AssertionSpec(aid)).enabled]
+
+    def build(self) -> list[TraceAssertion]:
+        """Fresh assertion instances per this configuration."""
+        assertions = default_catalog(tuple(self.enabled_ids()))
+        for assertion in assertions:
+            spec = self.specs.get(assertion.assertion_id)
+            if spec is not None and spec.bound_scale != 1.0:
+                assertion.scale_bound(spec.bound_scale)
+        return assertions
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "description": self.description,
+            "assertions": {
+                aid: {"enabled": s.enabled, "bound_scale": s.bound_scale}
+                for aid, s in sorted(self.specs.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CatalogSpec":
+        version = data.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported catalog spec version {version!r}")
+        specs = {}
+        for aid, cfg in data.get("assertions", {}).items():
+            specs[aid] = AssertionSpec(
+                aid,
+                enabled=bool(cfg.get("enabled", True)),
+                bound_scale=float(cfg.get("bound_scale", 1.0)),
+            )
+        return CatalogSpec(description=data.get("description", ""),
+                           specs=specs)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                              encoding="utf-8")
+
+    @staticmethod
+    def load(path: str | Path) -> "CatalogSpec":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a valid catalog spec: {exc}") from exc
+        return CatalogSpec.from_dict(data)

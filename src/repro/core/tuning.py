@@ -1,0 +1,146 @@
+"""Threshold calibration from nominal corpora.
+
+The methodology's "domain experts tune the thresholds" step, mechanized:
+run the catalog over a corpus of *known-good* traces, measure each
+assertion's worst nominal margin (its headroom), and relax any assertion
+whose headroom falls below a target so the nominal fleet never trips it.
+
+Margins are normalized (0 = at the threshold), so a single multiplicative
+bound scale per assertion suffices: scaling the bound by ``k`` maps a
+margin ``m`` to ``1 - (1 - m)/k`` (exact for every ratio-form margin in
+the catalog; for the progress assertion A10 the transform is a close
+over-approximation, i.e. never tightens).
+
+Calibration only ever *relaxes* assertions — a tight-but-quiet assertion
+is left alone, and attack sensitivity is reduced no more than the nominal
+evidence demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.core.catalog import CATALOG_IDS, default_catalog
+from repro.core.checker import check_trace
+from repro.core.dsl import TraceAssertion
+from repro.trace.schema import Trace
+
+__all__ = ["AssertionHeadroom", "CalibrationResult", "calibrate_catalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssertionHeadroom:
+    """Nominal-corpus statistics for one assertion."""
+
+    assertion_id: str
+    worst_margin: float
+    """Most negative (or smallest positive) margin over the corpus."""
+    fired_runs: int
+    """Number of corpus traces on which the assertion (wrongly) fired."""
+    scale: float
+    """Bound scale chosen by the calibrator (1.0 = untouched)."""
+
+
+@dataclass(slots=True)
+class CalibrationResult:
+    """Outcome of calibrating a catalog against a nominal corpus."""
+
+    target_headroom: float
+    headrooms: dict[str, AssertionHeadroom]
+    corpus_size: int
+
+    @property
+    def adjusted_ids(self) -> list[str]:
+        """Assertions whose bounds the calibrator relaxed."""
+        return [aid for aid, h in self.headrooms.items() if h.scale > 1.0]
+
+    def scale_of(self, assertion_id: str) -> float:
+        return self.headrooms[assertion_id].scale
+
+    def build_catalog(self, ids: Sequence[str] | None = None) -> list[TraceAssertion]:
+        """Fresh catalog instances with the calibrated scales applied."""
+        assertions = default_catalog(tuple(ids) if ids is not None else None)
+        for assertion in assertions:
+            headroom = self.headrooms.get(assertion.assertion_id)
+            if headroom is not None:
+                assertion.scale_bound(headroom.scale)
+        return assertions
+
+    def summary(self) -> str:
+        """One line per adjusted assertion, for the debugging log."""
+        lines = [
+            f"calibration over {self.corpus_size} nominal trace(s), "
+            f"target headroom {self.target_headroom:.2f}:"
+        ]
+        if not self.adjusted_ids:
+            lines.append("  all assertions already meet the target headroom")
+        for aid in self.adjusted_ids:
+            h = self.headrooms[aid]
+            lines.append(
+                f"  {aid:<4} worst nominal margin {h.worst_margin:+.2f} "
+                f"(fired on {h.fired_runs} run(s)) -> bound x{h.scale:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def calibrate_catalog(
+    nominal_traces: Iterable[Trace],
+    target_headroom: float = 0.1,
+    ids: Sequence[str] | None = None,
+) -> CalibrationResult:
+    """Fit assertion bound scales so nominal traces keep clear headroom.
+
+    Args:
+        nominal_traces: known-good traces (the assertion catalog must not
+            fire on any of them).
+        target_headroom: minimum normalized margin every assertion must
+            keep on the corpus (0.1 = 10% below threshold).
+        ids: calibrate a catalog subset (default: full catalog).
+
+    Returns:
+        A :class:`CalibrationResult`; ``result.build_catalog()`` yields the
+        calibrated assertion set.
+
+    Raises:
+        ValueError: for an empty corpus or a non-positive target.
+    """
+    if not 0.0 < target_headroom < 1.0:
+        raise ValueError("target_headroom must be in (0, 1)")
+    selected = tuple(ids) if ids is not None else CATALOG_IDS
+    worst: dict[str, float] = {aid: float("inf") for aid in selected}
+    fired: dict[str, int] = {aid: 0 for aid in selected}
+
+    corpus_size = 0
+    for trace in nominal_traces:
+        corpus_size += 1
+        report = check_trace(trace, default_catalog(selected))
+        for aid in selected:
+            summary = report.summaries[aid]
+            if not summary.evaluated:
+                continue  # never applicable on this trace: no evidence
+            worst[aid] = min(worst[aid], summary.worst_margin)
+            fired[aid] += summary.fired
+    if corpus_size == 0:
+        raise ValueError("calibration needs at least one nominal trace")
+
+    headrooms = {}
+    for aid in selected:
+        w = worst[aid]
+        if w == float("inf"):
+            # Never applicable on the corpus: leave untouched.
+            headrooms[aid] = AssertionHeadroom(aid, 0.0, 0, 1.0)
+            continue
+        if w < target_headroom:
+            scale = (1.0 - w) / (1.0 - target_headroom)
+        else:
+            scale = 1.0
+        headrooms[aid] = AssertionHeadroom(
+            assertion_id=aid, worst_margin=w, fired_runs=fired[aid],
+            scale=scale,
+        )
+    return CalibrationResult(
+        target_headroom=target_headroom,
+        headrooms=headrooms,
+        corpus_size=corpus_size,
+    )

@@ -1,0 +1,97 @@
+"""Terminal figure rendering: sparklines and multi-series line plots.
+
+The evaluation "figures" are regenerated as text so the whole harness
+stays dependency-free and diff-able; these helpers turn the numeric series
+the experiments produce into compact terminal graphics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "line_plot"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """A one-line unicode sparkline of a numeric series.
+
+    Args:
+        values: the series (empty -> empty string).
+        lo / hi: fixed scale bounds (default: the series min/max).
+    """
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return ""
+    lo = float(np.min(x)) if lo is None else lo
+    hi = float(np.max(x)) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[1] * x.size
+    scaled = (x - lo) / (hi - lo)
+    idx = np.clip((scaled * (len(_BLOCKS) - 2)).astype(int) + 1, 1,
+                  len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def line_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A multi-series ASCII line plot.
+
+    Args:
+        series: label -> (x values, y values); series are overlaid and each
+            gets its own glyph.
+        width / height: plot area size in characters.
+        x_label / y_label: axis captions.
+
+    Returns:
+        The rendered plot with axes, scale annotations, and a legend.
+    """
+    if not series:
+        raise ValueError("line_plot needs at least one series")
+    glyphs = "*o+x#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float)
+                             for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float)
+                             for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ValueError("series are empty")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (label, (xv, yv)) in enumerate(series.items()):
+        glyph = glyphs[i % len(glyphs)]
+        for x, y in zip(np.asarray(xv, dtype=float), np.asarray(yv, dtype=float)):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_hi:10.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<10.1f}" + " " * max(width - 22, 0)
+                 + f"{x_hi:>10.1f}" + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Experiment configuration: full-size vs. quick (benchmark) grids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentConfig", "STANDARD_ATTACKS"]
+
+STANDARD_ATTACKS: tuple[str, ...] = (
+    "gps_bias",
+    "gps_drift",
+    "gps_freeze",
+    "gps_noise",
+    "imu_gyro_bias",
+    "odom_scale",
+    "compass_offset",
+    "steer_offset",
+    "cmd_delay",
+)
+"""The attack classes every grid experiment covers."""
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``quick()`` shrinks seeds/grids so the whole benchmark suite runs in a
+    couple of minutes; results keep the same qualitative shape (the point
+    of the reproduction) with wider error bars.
+    """
+
+    seeds: tuple[int, ...] = (1, 7, 42)
+    scenario: str = "urban_loop"
+    trace_scenarios: tuple[str, ...] = ("straight", "s_curve")
+    controllers: tuple[str, ...] = ("pure_pursuit", "stanley", "lqr", "mpc")
+    attacks: tuple[str, ...] = STANDARD_ATTACKS
+    attack_onset: float = 15.0
+    duration: float | None = None
+    """Optional scenario-duration override (None = scenario default)."""
+    sweep_intensities: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
+    sweep_attacks: tuple[str, ...] = ("gps_bias", "gps_drift")
+    extra: dict = field(default_factory=dict)
+
+    @staticmethod
+    def full() -> "ExperimentConfig":
+        return ExperimentConfig()
+
+    @staticmethod
+    def quick() -> "ExperimentConfig":
+        return ExperimentConfig(
+            seeds=(7,),
+            controllers=("pure_pursuit", "stanley"),
+            trace_scenarios=("s_curve",),
+            duration=40.0,
+            sweep_intensities=(0.5, 1.0, 2.0),
+            sweep_attacks=("gps_bias",),
+        )

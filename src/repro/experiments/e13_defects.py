@@ -1,0 +1,105 @@
+"""E13 (extension) — debugging controller implementation defects.
+
+The other half of "debugging AD control algorithms": not attacks but
+shipped regressions.  Each classic controller bug (gain error, sign flip,
+stale input, deadband, saturation) is injected into the Pure Pursuit
+tracker; the catalog checks the run and the *defect* knowledge base ranks
+the regression classes.
+
+Expected shape: every defect detected with a distinct dominant signature
+(A11 for gain, behavioural collapse for sign flip, A20 for deadband), and
+high top-1 identification within the regression hypothesis set.  The
+deadband row documents a methodology success story: the original catalog
+missed it, and A20 was authored in response (see catalog docstring).
+"""
+
+from __future__ import annotations
+
+from repro.control.base import make_lateral_controller
+from repro.control.defects import DEFECT_CLASSES, DefectiveController, make_defect
+from repro.control.follower import SpeedProfile, WaypointFollower
+from repro.core.checker import check_trace
+from repro.core.diagnosis import diagnose
+from repro.core.knowledge import defect_knowledge_base
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import Table
+from repro.sim.engine import SimulationRunner
+from repro.sim.scenario import standard_scenarios
+
+__all__ = ["build_defect_debugging", "DEFECT_PARAMS"]
+
+DEFECT_PARAMS: dict[str, dict] = {
+    "ctrl_gain_error": {"factor": 7.0},
+    "ctrl_sign_flip": {},
+    "ctrl_stale_input": {"delay_steps": 16},
+    "ctrl_deadband": {"threshold": 0.12},
+    "ctrl_saturation": {"limit": 0.02},
+}
+"""Injected magnitudes (chosen as realistic regression sizes)."""
+
+_SCENARIO = "s_curve"
+
+
+def _run_with_defect(defect_name: str | None, seed: int):
+    # Full scenario duration always: truncating the run would fire the
+    # A15 liveness check for the wrong reason (goal unreachable in time).
+    scenario = standard_scenarios(seed=seed)[_SCENARIO]
+    lateral = make_lateral_controller("pure_pursuit")
+    if defect_name is not None:
+        lateral = DefectiveController(
+            lateral, make_defect(defect_name, **DEFECT_PARAMS[defect_name])
+        )
+    follower = WaypointFollower(
+        lateral, profile=SpeedProfile(cruise_speed=scenario.cruise_speed)
+    )
+    return SimulationRunner(scenario, follower).run()
+
+
+def build_defect_debugging(config: ExperimentConfig | None = None) -> Table:
+    """Defect detection + identification table."""
+    config = config or ExperimentConfig.full()
+    kb = defect_knowledge_base()
+    table = Table(
+        title="Table 9 (E13, extension): controller-defect debugging "
+              f"(scenario={_SCENARIO}, controller=pure_pursuit, "
+              f"{len(config.seeds)} seed(s))",
+        columns=["defect", "max|cte| [m]", "detected", "top-1 correct",
+                 "dominant assertions"],
+    )
+
+    for defect_name in [None] + list(DEFECT_CLASSES):
+        detected = correct = 0
+        damages = []
+        fired_union: set[str] = set()
+        for seed in config.seeds:
+            result = _run_with_defect(defect_name, seed)
+            report = check_trace(result.trace)
+            ranking = diagnose(report, kb)
+            truth = defect_name or "none"
+            if truth == "none":
+                detected += report.any_fired
+            else:
+                detected += report.any_fired
+            correct += ranking.top().cause == truth
+            damages.append(result.metrics.max_abs_cte)
+            fired_union.update(report.fired_ids)
+        n = len(config.seeds)
+        table.add_row(
+            defect_name or "none",
+            max(damages),
+            f"{detected}/{n}" + (" (FPs)" if defect_name is None else ""),
+            f"{correct}/{n}",
+            ",".join(sorted(fired_union)) or "-",
+        )
+    table.add_note("diagnosis runs against the regression hypothesis set "
+                   "(defect_knowledge_base), the developer's debugging "
+                   "context; A20 was authored to close the deadband gap.")
+    return table
+
+
+def main() -> None:
+    print(build_defect_debugging().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Export experiment tables to CSV and Markdown.
+
+The text tables are the canonical artifact; these exporters feed the
+numbers into spreadsheets and papers without re-running the grids.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+
+from repro.experiments.tables import Table
+
+__all__ = ["table_to_csv", "table_to_markdown", "save_tables"]
+
+
+def table_to_csv(table: Table, path: str | Path) -> None:
+    """Write one table as CSV (title and notes as ``#`` comment lines)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as f:
+        f.write(f"# {table.title}\n")
+        writer = csv.writer(f)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+        for note in table.notes:
+            f.write(f"# note: {note}\n")
+
+
+def table_to_markdown(table: Table) -> str:
+    """Render one table as GitHub-flavored Markdown."""
+    def esc(cell: str) -> str:
+        return cell.replace("|", "\\|")
+
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(esc(c) for c in table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(esc(c) for c in row) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"*{note}*")
+    return "\n".join(lines) + "\n"
+
+
+def _slug(title: str) -> str:
+    """A filesystem-safe slug from a table title."""
+    head = title.split(":")[0].strip().lower()
+    return re.sub(r"[^a-z0-9]+", "_", head).strip("_") or "table"
+
+
+def save_tables(tables: list[Table] | Table, directory: str | Path,
+                formats: tuple[str, ...] = ("csv", "md")) -> list[Path]:
+    """Save one or many tables under ``directory``; returns written paths.
+
+    Args:
+        tables: the table(s) to export.
+        directory: created if missing.
+        formats: any of ``csv``, ``md``.
+    """
+    if isinstance(tables, Table):
+        tables = [tables]
+    unknown = set(formats) - {"csv", "md"}
+    if unknown:
+        raise ValueError(f"unknown export formats: {sorted(unknown)}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    used: set[str] = set()
+    for table in tables:
+        slug = _slug(table.title)
+        if slug in used:
+            slug = f"{slug}_{len(used)}"
+        used.add(slug)
+        if "csv" in formats:
+            path = directory / f"{slug}.csv"
+            table_to_csv(table, path)
+            written.append(path)
+        if "md" in formats:
+            path = directory / f"{slug}.md"
+            path.write_text(table_to_markdown(table), encoding="utf-8")
+            written.append(path)
+    return written

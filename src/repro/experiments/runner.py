@@ -1,0 +1,105 @@
+"""Grid runner: scenario x controller x attack x seed, with check+diagnose.
+
+Every experiment funnels through :func:`run_grid` so runs are executed and
+scored uniformly, and so an in-process memo cache lets experiments that
+share grid points (e.g. E1 and E2) reuse simulations instead of re-running
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.campaign import standard_attack
+from repro.core.checker import check_trace
+from repro.core.diagnosis import DiagnosisResult, diagnose
+from repro.core.verdicts import CheckReport
+from repro.sim.engine import RunResult, run_scenario
+from repro.sim.scenario import standard_scenarios
+
+__all__ = ["GridRun", "run_grid", "clear_cache"]
+
+
+@dataclass(slots=True)
+class GridRun:
+    """One fully scored grid point."""
+
+    scenario: str
+    controller: str
+    attack: str
+    intensity: float
+    seed: int
+    result: RunResult
+    report: CheckReport
+    diagnosis: DiagnosisResult
+
+    @property
+    def onset_latency(self) -> float | None:
+        onset = self.result.trace.attack_onset()
+        if onset is None:
+            return None
+        return self.report.detection_latency(onset)
+
+
+_CACHE: dict[tuple, GridRun] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (tests use this to force fresh simulations)."""
+    _CACHE.clear()
+
+
+def _run_one(
+    scenario_name: str,
+    controller: str,
+    attack: str,
+    intensity: float,
+    seed: int,
+    onset: float,
+    duration: float | None,
+) -> GridRun:
+    key = (scenario_name, controller, attack, intensity, seed, onset, duration)
+    if key in _CACHE:
+        return _CACHE[key]
+    scenario = standard_scenarios(seed=seed, duration=duration)[scenario_name]
+    campaign = (
+        standard_attack(attack, intensity=intensity, onset=onset)
+        if attack != "none"
+        else standard_attack("none")
+    )
+    result = run_scenario(scenario, controller=controller, campaign=campaign)
+    report = check_trace(result.trace)
+    run = GridRun(
+        scenario=scenario_name,
+        controller=controller,
+        attack=attack,
+        intensity=intensity,
+        seed=seed,
+        result=result,
+        report=report,
+        diagnosis=diagnose(report),
+    )
+    _CACHE[key] = run
+    return run
+
+
+def run_grid(
+    scenarios: tuple[str, ...] | list[str],
+    controllers: tuple[str, ...] | list[str],
+    attacks: tuple[str, ...] | list[str],
+    seeds: tuple[int, ...] | list[int],
+    intensity: float = 1.0,
+    onset: float = 15.0,
+    duration: float | None = None,
+) -> list[GridRun]:
+    """Run (and score) the full cartesian grid; memoized per process."""
+    runs = []
+    for scenario in scenarios:
+        for controller in controllers:
+            for attack in attacks:
+                for seed in seeds:
+                    runs.append(
+                        _run_one(scenario, controller, attack, intensity,
+                                 seed, onset, duration)
+                    )
+    return runs

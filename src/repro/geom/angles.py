@@ -1,0 +1,74 @@
+"""Angle arithmetic helpers.
+
+Headings live on the circle, so naive subtraction is wrong near the +/- pi
+wrap.  Every heading comparison in the simulator, controllers and assertion
+catalog goes through :func:`angle_diff` / :func:`normalize_angle`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["normalize_angle", "angle_diff", "unwrap_angles", "circular_mean"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(angle: float) -> float:
+    """Wrap an angle to the interval (-pi, pi].
+
+    Args:
+        angle: angle in radians (any magnitude, must be finite).
+
+    Returns:
+        The equivalent angle in (-pi, pi].
+    """
+    if not math.isfinite(angle):
+        raise ValueError(f"cannot normalize non-finite angle {angle!r}")
+    wrapped = math.fmod(angle, _TWO_PI)
+    if wrapped > math.pi:
+        wrapped -= _TWO_PI
+    elif wrapped <= -math.pi:
+        wrapped += _TWO_PI
+    return wrapped
+
+
+def angle_diff(a: float, b: float) -> float:
+    """Smallest signed difference ``a - b`` on the circle, in (-pi, pi]."""
+    return normalize_angle(a - b)
+
+
+def unwrap_angles(angles: Sequence[float]) -> list[float]:
+    """Unwrap a sequence of angles into a continuous signal.
+
+    Consecutive samples are assumed to differ by less than pi; each output
+    sample equals the previous output plus the wrapped increment, so the
+    result is free of 2*pi jumps and suitable for differentiation.
+    """
+    if not angles:
+        return []
+    out = [float(angles[0])]
+    for angle in angles[1:]:
+        out.append(out[-1] + angle_diff(float(angle), out[-1]))
+    return out
+
+
+def circular_mean(angles: Iterable[float]) -> float:
+    """Mean direction of a set of angles (radians, in (-pi, pi]).
+
+    Raises:
+        ValueError: if ``angles`` is empty or the mean is undefined (the
+            resultant vector is numerically zero, e.g. two opposite angles).
+    """
+    sx = sy = 0.0
+    count = 0
+    for angle in angles:
+        sx += math.cos(angle)
+        sy += math.sin(angle)
+        count += 1
+    if count == 0:
+        raise ValueError("circular_mean of an empty sequence")
+    if math.hypot(sx, sy) < 1e-12:
+        raise ValueError("circular mean undefined: resultant vector is zero")
+    return math.atan2(sy, sx)

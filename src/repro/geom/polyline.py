@@ -1,0 +1,257 @@
+"""Arc-length parametrized polylines — the route primitive.
+
+A :class:`Polyline` is an ordered sequence of waypoints with precomputed
+cumulative arc length.  It supports the three queries a path tracker needs:
+
+* ``project(point)`` — nearest point on the path, with signed cross-track
+  error (positive = point is left of the path) and the arc-length station.
+* ``sample(s)`` — position/heading/curvature at arc-length station ``s``.
+* ``lookahead(s, distance)`` — the point ``distance`` meters further along.
+
+Headings and curvatures are derived from the segment geometry; curvature is
+estimated per-vertex from the turning angle over the adjacent segment
+lengths (a standard discrete approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.geom.angles import angle_diff
+from repro.geom.vec import Vec2
+
+__all__ = ["Polyline", "Projection", "PathSample"]
+
+
+@dataclass(frozen=True, slots=True)
+class Projection:
+    """Result of projecting a point onto a polyline."""
+
+    point: Vec2
+    """Closest point on the path."""
+    station: float
+    """Arc length from the path start to :attr:`point`, meters."""
+    cross_track: float
+    """Signed lateral offset of the query point; positive = left of path."""
+    heading: float
+    """Path tangent heading at the projection, radians."""
+    segment_index: int
+    """Index of the segment containing the projection."""
+    distance: float = 0.0
+    """Euclidean distance from the query point to :attr:`point`.
+
+    Equals ``|cross_track|`` in the interior of a segment but exceeds it
+    when the projection clamps to a vertex (the query point then also has
+    a longitudinal offset).
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class PathSample:
+    """Path state at a given arc-length station."""
+
+    point: Vec2
+    heading: float
+    curvature: float
+    station: float
+
+
+class Polyline:
+    """An open or closed polyline with arc-length parametrization.
+
+    Args:
+        points: at least two distinct waypoints, in order.
+        closed: if True the path wraps around (last point connects back to
+            the first) and stations are taken modulo the total length.
+
+    Raises:
+        ValueError: on fewer than two points or zero-length segments.
+    """
+
+    def __init__(self, points: Iterable[Vec2], closed: bool = False):
+        pts = [p if isinstance(p, Vec2) else Vec2(*p) for p in points]
+        if len(pts) < 2:
+            raise ValueError("a polyline needs at least two points")
+        if closed and pts[0].distance_to(pts[-1]) > 1e-9:
+            pts.append(pts[0])
+        self._points = pts
+        self._closed = closed
+        self._xy = np.array([[p.x, p.y] for p in pts], dtype=float)
+        deltas = np.diff(self._xy, axis=0)
+        seg_lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+        if np.any(seg_lengths < 1e-12):
+            raise ValueError("polyline contains zero-length segments")
+        self._seg_lengths = seg_lengths
+        self._cum = np.concatenate(([0.0], np.cumsum(seg_lengths)))
+        self._headings = np.arctan2(deltas[:, 1], deltas[:, 0])
+        self._curvatures = self._vertex_curvatures()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Sequence[Vec2]:
+        """The waypoints (read-only view)."""
+        return tuple(self._points)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def length(self) -> float:
+        """Total arc length, meters."""
+        return float(self._cum[-1])
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._seg_lengths)
+
+    def start_pose(self) -> tuple[Vec2, float]:
+        """Initial point and tangent heading (useful to spawn a vehicle)."""
+        return self._points[0], float(self._headings[0])
+
+    def end_point(self) -> Vec2:
+        """The final waypoint (== first waypoint for closed paths)."""
+        return self._points[-1]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _wrap_station(self, s: float) -> float:
+        if self._closed:
+            return float(s % self.length)
+        return float(min(max(s, 0.0), self.length))
+
+    def sample(self, station: float) -> PathSample:
+        """Path point/heading/curvature at arc-length ``station``.
+
+        Open paths clamp the station to ``[0, length]``; closed paths wrap.
+        """
+        s = self._wrap_station(station)
+        idx = int(np.searchsorted(self._cum, s, side="right") - 1)
+        idx = min(max(idx, 0), self.num_segments - 1)
+        ds = s - self._cum[idx]
+        frac = ds / self._seg_lengths[idx]
+        a = self._points[idx]
+        b = self._points[idx + 1]
+        point = a.lerp(b, float(frac))
+        heading = float(self._headings[idx])
+        curvature = self._interp_curvature(idx, float(frac))
+        return PathSample(point=point, heading=heading, curvature=curvature, station=s)
+
+    def lookahead(self, station: float, distance: float) -> PathSample:
+        """Path sample ``distance`` meters beyond ``station``."""
+        return self.sample(station + distance)
+
+    def project(self, point: Vec2, hint_station: float | None = None) -> Projection:
+        """Project a point onto the path (global nearest-point search).
+
+        Args:
+            point: query point.
+            hint_station: if given, the search is restricted to a window of
+                segments around this station, which keeps tracking O(1) per
+                step and avoids snapping to the far side of closed circuits.
+        """
+        if hint_station is None:
+            candidates = range(self.num_segments)
+        else:
+            candidates = self._window_segments(hint_station, window=30.0)
+        best: tuple[float, int, float] | None = None  # (dist_sq, idx, t)
+        px, py = point.x, point.y
+        for idx in candidates:
+            ax, ay = self._xy[idx]
+            bx, by = self._xy[idx + 1]
+            dx, dy = bx - ax, by - ay
+            seg_len_sq = dx * dx + dy * dy
+            t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+            t = min(max(t, 0.0), 1.0)
+            cx, cy = ax + t * dx, ay + t * dy
+            dist_sq = (px - cx) ** 2 + (py - cy) ** 2
+            if best is None or dist_sq < best[0]:
+                best = (dist_sq, idx, t)
+        assert best is not None
+        _, idx, t = best
+        a = self._points[idx]
+        b = self._points[idx + 1]
+        closest = a.lerp(b, t)
+        heading = float(self._headings[idx])
+        tangent = Vec2(math.cos(heading), math.sin(heading))
+        cross = tangent.cross(point - closest)
+        station = float(self._cum[idx] + t * self._seg_lengths[idx])
+        return Projection(
+            point=closest,
+            station=station,
+            cross_track=cross,
+            heading=heading,
+            segment_index=idx,
+            distance=point.distance_to(closest),
+        )
+
+    def remaining(self, station: float) -> float:
+        """Arc length from ``station`` to the end (length for closed paths)."""
+        if self._closed:
+            return self.length
+        return self.length - self._wrap_station(station)
+
+    def resampled(self, spacing: float) -> "Polyline":
+        """A new polyline with (approximately) uniform waypoint spacing."""
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        n = max(int(math.ceil(self.length / spacing)), 1)
+        stations = [i * self.length / n for i in range(n + 1)]
+        if self._closed:
+            stations = stations[:-1]
+        pts = [self.sample(s).point for s in stations]
+        return Polyline(pts, closed=self._closed)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _window_segments(self, station: float, window: float) -> range:
+        s = self._wrap_station(station)
+        lo = s - window
+        hi = s + window
+        if self._closed and (lo < 0 or hi > self.length):
+            # The window wraps around the seam; fall back to a full search,
+            # which is still cheap for the route sizes used here.
+            return range(self.num_segments)
+        lo_idx = int(np.searchsorted(self._cum, max(lo, 0.0), side="right") - 1)
+        hi_idx = int(np.searchsorted(self._cum, min(hi, self.length), side="left"))
+        lo_idx = min(max(lo_idx, 0), self.num_segments - 1)
+        hi_idx = min(max(hi_idx, lo_idx + 1), self.num_segments)
+        return range(lo_idx, hi_idx)
+
+    def _vertex_curvatures(self) -> np.ndarray:
+        """Discrete curvature at each vertex from the turning angle."""
+        n_vertices = len(self._points)
+        curv = np.zeros(n_vertices)
+        for i in range(1, n_vertices - 1):
+            turn = angle_diff(float(self._headings[i]), float(self._headings[i - 1]))
+            ds = 0.5 * (self._seg_lengths[i - 1] + self._seg_lengths[i])
+            curv[i] = turn / ds
+        if self._closed:
+            turn = angle_diff(float(self._headings[0]), float(self._headings[-1]))
+            ds = 0.5 * (self._seg_lengths[-1] + self._seg_lengths[0])
+            curv[0] = curv[-1] = turn / ds
+        else:
+            curv[0] = curv[1] if n_vertices > 2 else 0.0
+            curv[-1] = curv[-2] if n_vertices > 2 else 0.0
+        return curv
+
+    def _interp_curvature(self, seg_idx: int, frac: float) -> float:
+        return float(
+            (1.0 - frac) * self._curvatures[seg_idx]
+            + frac * self._curvatures[seg_idx + 1]
+        )
+
+    def __repr__(self) -> str:
+        kind = "closed" if self._closed else "open"
+        return (
+            f"Polyline({len(self._points)} pts, {kind}, "
+            f"length={self.length:.1f} m)"
+        )

@@ -1,0 +1,145 @@
+"""Immutable 2-D vectors and planar poses.
+
+The simulator works in a flat East-North plane (CARLA-style local frame
+without the Z axis).  ``Vec2`` is a tiny frozen dataclass rather than a raw
+numpy array so that positions, velocities and offsets carry intent and
+support hashing/equality in tests; hot loops convert to numpy explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geom.angles import normalize_angle
+
+__all__ = ["Vec2", "Pose"]
+
+
+@dataclass(frozen=True, slots=True)
+class Vec2:
+    """A 2-D vector / point in the East-North plane, in meters."""
+
+    x: float = 0.0
+    y: float = 0.0
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def dot(self, other: "Vec2") -> float:
+        """Scalar (dot) product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (cheaper when only comparing)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def heading(self) -> float:
+        """Angle of the vector w.r.t. the +x axis, in radians in (-pi, pi]."""
+        return math.atan2(self.y, self.x)
+
+    def unit(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: for the zero vector.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def perp(self) -> "Vec2":
+        """The vector rotated +90 degrees (left normal)."""
+        return Vec2(-self.y, self.x)
+
+    def rotated(self, angle: float) -> "Vec2":
+        """The vector rotated by ``angle`` radians counter-clockwise."""
+        c, s = math.cos(angle), math.sin(angle)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        """Linear interpolation: ``self`` at t=0, ``other`` at t=1."""
+        return Vec2(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    @staticmethod
+    def from_polar(radius: float, angle: float) -> "Vec2":
+        """Build a vector from polar coordinates (radians)."""
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+
+@dataclass(frozen=True, slots=True)
+class Pose:
+    """A planar pose: position plus heading (yaw, radians, CCW from +x)."""
+
+    position: Vec2 = Vec2()
+    yaw: float = 0.0
+
+    @property
+    def x(self) -> float:
+        return self.position.x
+
+    @property
+    def y(self) -> float:
+        return self.position.y
+
+    def forward(self) -> Vec2:
+        """Unit vector pointing along the heading."""
+        return Vec2(math.cos(self.yaw), math.sin(self.yaw))
+
+    def left(self) -> Vec2:
+        """Unit vector pointing to the left of the heading."""
+        return Vec2(-math.sin(self.yaw), math.cos(self.yaw))
+
+    def to_local(self, point: Vec2) -> Vec2:
+        """Express a world-frame point in this pose's body frame.
+
+        Body frame convention: +x forward, +y left.
+        """
+        d = point - self.position
+        return d.rotated(-self.yaw)
+
+    def to_world(self, point: Vec2) -> Vec2:
+        """Express a body-frame point (``+x`` forward) in the world frame."""
+        return self.position + point.rotated(self.yaw)
+
+    def moved(self, distance: float) -> "Pose":
+        """The pose translated ``distance`` meters along its heading."""
+        return Pose(self.position + self.forward() * distance, self.yaw)
+
+    def turned(self, dyaw: float) -> "Pose":
+        """The pose rotated in place by ``dyaw`` radians."""
+        return Pose(self.position, normalize_angle(self.yaw + dyaw))

@@ -1,0 +1,48 @@
+"""Vehicle simulation substrate (the CARLA stand-in).
+
+The paper runs its vehicle under test in CARLA via the Python API.  This
+package provides a deterministic, laptop-scale replacement: a fixed-step
+closed-loop simulator with bicycle-model vehicle dynamics, actuator lag,
+and rate-scheduled noisy sensors.  ADAssure itself only consumes the traces
+this loop produces, so the substitution preserves the debugged behaviour
+(see DESIGN.md, "Substitutions").
+"""
+
+from repro.sim.actuators import ActuatorLimits, Actuators
+from repro.sim.dynamics import (
+    DynamicBicycleModel,
+    KinematicBicycleModel,
+    VehicleParams,
+    VehicleState,
+)
+from repro.sim.engine import RunResult, SimulationRunner, run_scenario
+from repro.sim.lead import LeadSpeedEvent, LeadVehicle, LeadVehicleConfig
+from repro.sim.rng import RngStreams
+from repro.sim.scenario import (
+    Scenario,
+    ScenarioOutcome,
+    acc_scenario,
+    standard_scenarios,
+)
+from repro.sim.vehicle import Vehicle
+
+__all__ = [
+    "VehicleParams",
+    "VehicleState",
+    "KinematicBicycleModel",
+    "DynamicBicycleModel",
+    "ActuatorLimits",
+    "Actuators",
+    "Vehicle",
+    "RngStreams",
+    "Scenario",
+    "ScenarioOutcome",
+    "standard_scenarios",
+    "acc_scenario",
+    "LeadVehicle",
+    "LeadVehicleConfig",
+    "LeadSpeedEvent",
+    "SimulationRunner",
+    "RunResult",
+    "run_scenario",
+]

@@ -1,0 +1,113 @@
+"""Actuator models: lag, rate limits and saturation between command and plant.
+
+Controllers command a steering angle and a longitudinal acceleration; the
+physical actuators apply them imperfectly.  Modeling this gap matters for
+ADAssure twice over: (1) the A16 actuation-consistency assertion compares
+commanded vs. applied signals, and (2) actuator attacks/faults are injected
+exactly at this boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ActuatorLimits", "Actuators"]
+
+
+@dataclass(frozen=True, slots=True)
+class ActuatorLimits:
+    """Limits and time constants of the steering and drive actuators."""
+
+    steer_max: float = 0.61
+    """Steering angle saturation, rad."""
+    steer_rate_max: float = 0.8
+    """Maximum steering slew rate, rad/s."""
+    steer_tau: float = 0.15
+    """First-order steering lag time constant, s."""
+    accel_max: float = 3.0
+    """Acceleration saturation, m/s^2."""
+    brake_max: float = 6.0
+    """Deceleration saturation magnitude, m/s^2."""
+    accel_tau: float = 0.25
+    """First-order drive/brake lag time constant, s."""
+
+    def __post_init__(self) -> None:
+        if min(self.steer_max, self.steer_rate_max, self.accel_max, self.brake_max) <= 0:
+            raise ValueError("actuator limits must be positive")
+        if self.steer_tau < 0 or self.accel_tau < 0:
+            raise ValueError("time constants must be non-negative")
+
+
+class Actuators:
+    """Stateful steering + drive actuators.
+
+    Each channel is a first-order lag toward the (saturated) command, with
+    the steering channel additionally rate limited.  ``tau == 0`` degrades
+    to an ideal (instantaneous) actuator, which some unit tests use.
+    """
+
+    def __init__(self, limits: ActuatorLimits | None = None):
+        self.limits = limits or ActuatorLimits()
+        self._steer = 0.0
+        self._accel = 0.0
+
+    @property
+    def steer(self) -> float:
+        """Currently applied steering angle, rad."""
+        return self._steer
+
+    @property
+    def accel(self) -> float:
+        """Currently applied longitudinal acceleration, m/s^2."""
+        return self._accel
+
+    def reset(self, steer: float = 0.0, accel: float = 0.0) -> None:
+        """Reset internal actuator state (e.g. at scenario start)."""
+        self._steer = self._saturate_steer(steer)
+        self._accel = self._saturate_accel(accel)
+
+    def apply(self, steer_cmd: float, accel_cmd: float, dt: float) -> tuple[float, float]:
+        """Advance actuator state toward the commands over ``dt``.
+
+        Returns:
+            ``(steer_applied, accel_applied)`` after lag/rate/saturation.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        lim = self.limits
+
+        target_steer = self._saturate_steer(steer_cmd)
+        if lim.steer_tau > 0:
+            alpha = 1.0 - _exp_decay(dt, lim.steer_tau)
+            desired = self._steer + alpha * (target_steer - self._steer)
+        else:
+            desired = target_steer
+        max_delta = lim.steer_rate_max * dt
+        delta = _clamp(desired - self._steer, -max_delta, max_delta)
+        self._steer = self._saturate_steer(self._steer + delta)
+
+        target_accel = self._saturate_accel(accel_cmd)
+        if lim.accel_tau > 0:
+            alpha = 1.0 - _exp_decay(dt, lim.accel_tau)
+            self._accel = self._accel + alpha * (target_accel - self._accel)
+        else:
+            self._accel = target_accel
+        self._accel = self._saturate_accel(self._accel)
+
+        return self._steer, self._accel
+
+    def _saturate_steer(self, steer: float) -> float:
+        return _clamp(steer, -self.limits.steer_max, self.limits.steer_max)
+
+    def _saturate_accel(self, accel: float) -> float:
+        return _clamp(accel, -self.limits.brake_max, self.limits.accel_max)
+
+
+def _exp_decay(dt: float, tau: float) -> float:
+    """exp(-dt/tau), the discrete first-order decay factor."""
+    return math.exp(-dt / tau)
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return lo if value < lo else hi if value > hi else value

@@ -1,0 +1,241 @@
+"""Vehicle dynamics: kinematic and dynamic bicycle models.
+
+Both models share the :class:`VehicleState` representation so the rest of
+the stack (sensors, controllers, trace schema) is model-agnostic.  The
+kinematic model is the standard single-track model used throughout the
+path-tracking literature; the dynamic model adds a linear-tire lateral
+dynamics layer (states: lateral velocity and yaw rate) that matters at the
+speeds and curvatures of the urban-loop scenario.
+
+Conventions: world frame is East-North, yaw is CCW from +x, steering angle
+is the front-wheel angle (positive = left), accelerations are in m/s^2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.geom.angles import normalize_angle
+from repro.geom.vec import Pose, Vec2
+
+__all__ = [
+    "VehicleParams",
+    "VehicleState",
+    "KinematicBicycleModel",
+    "DynamicBicycleModel",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class VehicleParams:
+    """Physical parameters of the simulated vehicle.
+
+    Defaults approximate a mid-size sedan (comparable to the Lexus/Toyota
+    platforms used by AV research vehicles, and to CARLA's default sedan).
+    """
+
+    wheelbase: float = 2.7
+    """Distance between axles, meters."""
+    lf: float = 1.3
+    """CoG to front axle, meters."""
+    lr: float = 1.4
+    """CoG to rear axle, meters."""
+    mass: float = 1650.0
+    """Vehicle mass, kg."""
+    inertia_z: float = 2800.0
+    """Yaw moment of inertia, kg m^2."""
+    cornering_front: float = 85_000.0
+    """Front axle cornering stiffness, N/rad."""
+    cornering_rear: float = 95_000.0
+    """Rear axle cornering stiffness, N/rad."""
+    max_steer: float = 0.61
+    """Steering angle limit, rad (about 35 degrees)."""
+    max_accel: float = 3.0
+    """Maximum longitudinal acceleration, m/s^2."""
+    max_brake: float = 6.0
+    """Maximum deceleration magnitude, m/s^2."""
+    max_speed: float = 25.0
+    """Speed cap, m/s."""
+    drag_coeff: float = 0.02
+    """Lumped rolling/air drag: a_drag = -drag_coeff * v."""
+
+    def __post_init__(self) -> None:
+        if self.wheelbase <= 0 or self.mass <= 0 or self.inertia_z <= 0:
+            raise ValueError("wheelbase, mass and inertia must be positive")
+        if abs((self.lf + self.lr) - self.wheelbase) > 0.2:
+            raise ValueError("lf + lr must be consistent with the wheelbase")
+        if self.max_steer <= 0 or self.max_speed <= 0:
+            raise ValueError("limits must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class VehicleState:
+    """Full vehicle state shared by both dynamics models.
+
+    For the kinematic model ``vy`` is identically zero and ``yaw_rate``
+    follows the steering geometry; the dynamic model evolves both.
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+    yaw: float = 0.0
+    v: float = 0.0
+    """Longitudinal (body-frame) speed, m/s; non-negative."""
+    vy: float = 0.0
+    """Lateral (body-frame) velocity, m/s."""
+    yaw_rate: float = 0.0
+    accel: float = 0.0
+    """Longitudinal acceleration applied during the last step."""
+    steer: float = 0.0
+    """Front wheel angle applied during the last step."""
+
+    @property
+    def pose(self) -> Pose:
+        return Pose(Vec2(self.x, self.y), self.yaw)
+
+    @property
+    def position(self) -> Vec2:
+        return Vec2(self.x, self.y)
+
+    @property
+    def speed(self) -> float:
+        """Total planar speed (kinematic: equals ``v``)."""
+        return math.hypot(self.v, self.vy)
+
+    @property
+    def lateral_accel(self) -> float:
+        """Centripetal acceleration estimate v * yaw_rate, m/s^2."""
+        return self.v * self.yaw_rate
+
+    def with_pose(self, x: float, y: float, yaw: float) -> "VehicleState":
+        return replace(self, x=x, y=y, yaw=normalize_angle(yaw))
+
+
+class KinematicBicycleModel:
+    """Rear-axle-referenced kinematic bicycle model.
+
+    State update (exact integration of the unicycle part over dt with
+    piecewise-constant inputs is approximated by RK2/midpoint, which is
+    accurate to O(dt^3) and keeps the model cheap):
+
+        x'   = v cos(yaw)
+        y'   = v sin(yaw)
+        yaw' = v tan(steer) / L
+        v'   = a - drag * v
+    """
+
+    name = "kinematic"
+
+    def __init__(self, params: VehicleParams | None = None):
+        self.params = params or VehicleParams()
+
+    def step(
+        self, state: VehicleState, steer: float, accel: float, dt: float
+    ) -> VehicleState:
+        """Advance the state by ``dt`` with clamped inputs."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        steer = _clamp(steer, -p.max_steer, p.max_steer)
+        accel = _clamp(accel, -p.max_brake, p.max_accel)
+
+        v0 = state.v
+        a_net = accel - p.drag_coeff * v0
+        v1 = _clamp(v0 + a_net * dt, 0.0, p.max_speed)
+        v_mid = 0.5 * (v0 + v1)
+
+        yaw_rate = v_mid * math.tan(steer) / p.wheelbase
+        yaw_mid = state.yaw + 0.5 * yaw_rate * dt
+        x1 = state.x + v_mid * math.cos(yaw_mid) * dt
+        y1 = state.y + v_mid * math.sin(yaw_mid) * dt
+        yaw1 = normalize_angle(state.yaw + yaw_rate * dt)
+
+        return VehicleState(
+            x=x1,
+            y=y1,
+            yaw=yaw1,
+            v=v1,
+            vy=0.0,
+            yaw_rate=yaw_rate,
+            accel=accel,
+            steer=steer,
+        )
+
+
+class DynamicBicycleModel:
+    """Linear-tire dynamic bicycle model with kinematic low-speed fallback.
+
+    Lateral dynamics (body frame, small-angle tires):
+
+        m  (vy' + v * r) = Fyf + Fyr
+        Iz r'             = lf Fyf - lr Fyr
+        Fyf = -Cf * alpha_f,  alpha_f = (vy + lf r)/v - steer
+        Fyr = -Cr * alpha_r,  alpha_r = (vy - lr r)/v
+
+    Below ``blend_speed`` the tire model is ill-conditioned (divide by v),
+    so the update blends into the kinematic model, which is exact at low
+    speed anyway.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, params: VehicleParams | None = None, blend_speed: float = 3.0):
+        self.params = params or VehicleParams()
+        if blend_speed <= 0:
+            raise ValueError("blend_speed must be positive")
+        self.blend_speed = blend_speed
+        self._kinematic = KinematicBicycleModel(self.params)
+
+    def step(
+        self, state: VehicleState, steer: float, accel: float, dt: float
+    ) -> VehicleState:
+        """Advance the state by ``dt`` with clamped inputs."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        steer = _clamp(steer, -p.max_steer, p.max_steer)
+        accel = _clamp(accel, -p.max_brake, p.max_accel)
+
+        if state.v < self.blend_speed:
+            return self._kinematic.step(state, steer, accel, dt)
+
+        v = state.v
+        vy = state.vy
+        r = state.yaw_rate
+
+        alpha_f = (vy + p.lf * r) / v - steer
+        alpha_r = (vy - p.lr * r) / v
+        fyf = -p.cornering_front * alpha_f
+        fyr = -p.cornering_rear * alpha_r
+
+        vy_dot = (fyf + fyr) / p.mass - v * r
+        r_dot = (p.lf * fyf - p.lr * fyr) / p.inertia_z
+
+        a_net = accel - p.drag_coeff * v
+        v1 = _clamp(v + a_net * dt, 0.0, p.max_speed)
+        vy1 = vy + vy_dot * dt
+        r1 = r + r_dot * dt
+
+        yaw_mid = state.yaw + 0.5 * r1 * dt
+        cos_y, sin_y = math.cos(yaw_mid), math.sin(yaw_mid)
+        vx_world = v * cos_y - vy * sin_y
+        vy_world = v * sin_y + vy * cos_y
+        x1 = state.x + vx_world * dt
+        y1 = state.y + vy_world * dt
+        yaw1 = normalize_angle(state.yaw + r1 * dt)
+
+        return VehicleState(
+            x=x1,
+            y=y1,
+            yaw=yaw1,
+            v=v1,
+            vy=vy1,
+            yaw_rate=r1,
+            accel=accel,
+            steer=steer,
+        )
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return lo if value < lo else hi if value > hi else value

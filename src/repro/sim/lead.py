@@ -1,0 +1,126 @@
+"""Lead-vehicle model for car-following (ACC) scenarios.
+
+The lead vehicle travels along the *same route* as the ego vehicle, ahead
+of it by an arc-length gap, with a piecewise-constant-target speed profile
+tracked through a first-order lag (so speed changes are smooth).  This is
+the standard workload for debugging ACC controllers: cruise, lead slows,
+lead speeds back up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geom.polyline import Polyline
+from repro.geom.vec import Vec2
+
+__all__ = ["LeadSpeedEvent", "LeadVehicleConfig", "LeadVehicle"]
+
+
+@dataclass(frozen=True, slots=True)
+class LeadSpeedEvent:
+    """At time ``t`` the lead vehicle starts tracking ``speed``."""
+
+    t: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.t < 0 or self.speed < 0:
+            raise ValueError("event time and speed must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class LeadVehicleConfig:
+    """Initial gap and speed profile of the lead vehicle."""
+
+    initial_gap: float = 40.0
+    """Arc-length head start over the ego vehicle, meters."""
+    initial_speed: float = 8.0
+    events: tuple[LeadSpeedEvent, ...] = field(default_factory=tuple)
+    """Speed-change events, in time order."""
+    accel_lag: float = 1.2
+    """First-order time constant of the lead's speed tracking, seconds."""
+
+    def __post_init__(self) -> None:
+        if self.initial_gap <= 0:
+            raise ValueError("initial_gap must be positive")
+        if self.initial_speed < 0:
+            raise ValueError("initial_speed must be non-negative")
+        if self.accel_lag <= 0:
+            raise ValueError("accel_lag must be positive")
+        times = [e.t for e in self.events]
+        if times != sorted(times):
+            raise ValueError("events must be in time order")
+
+    @staticmethod
+    def slowdown(initial_gap: float = 40.0, cruise: float = 9.0,
+                 slow: float = 4.0, slow_at: float = 18.0,
+                 resume_at: float = 32.0) -> "LeadVehicleConfig":
+        """The canonical ACC test: cruise, brake to ``slow``, resume."""
+        return LeadVehicleConfig(
+            initial_gap=initial_gap,
+            initial_speed=cruise,
+            events=(LeadSpeedEvent(slow_at, slow),
+                    LeadSpeedEvent(resume_at, cruise)),
+        )
+
+
+class LeadVehicle:
+    """Simulates the lead vehicle's station and speed along the route."""
+
+    def __init__(self, config: LeadVehicleConfig, start_station: float):
+        self.config = config
+        self._station = start_station + config.initial_gap
+        self._speed = config.initial_speed
+        self._target = config.initial_speed
+
+    @property
+    def station(self) -> float:
+        """Arc-length position along the route, meters."""
+        return self._station
+
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    def step(self, t: float, dt: float) -> None:
+        """Advance the lead vehicle by ``dt`` (engine calls this per step)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        for event in self.config.events:
+            if event.t <= t:
+                self._target = event.speed
+        alpha = 1.0 - math.exp(-dt / self.config.accel_lag)
+        self._speed += alpha * (self._target - self._speed)
+        self._station += self._speed * dt
+
+    def gap_to(self, ego_station: float, route_length: float,
+               closed: bool) -> float:
+        """Arc-length gap from the ego to the lead (wraps on loops)."""
+        gap = self._station - ego_station
+        if closed:
+            gap %= route_length
+        return gap
+
+    def position_on(self, route: Polyline) -> Vec2:
+        """World position of the lead on the route.
+
+        A lead that has driven past the end of an open route continues
+        straight along the final heading (it leaves the mapped area but
+        remains a physical radar target).
+        """
+        if not route.closed and self._station > route.length:
+            end = route.sample(route.length)
+            excess = self._station - route.length
+            return end.point + Vec2(
+                math.cos(end.heading), math.sin(end.heading)) * excess
+        return route.sample(self._station).point
+
+    def velocity_on(self, route: Polyline) -> Vec2:
+        """World velocity vector of the lead (speed along its heading)."""
+        if not route.closed and self._station > route.length:
+            heading = route.sample(route.length).heading
+        else:
+            heading = route.sample(self._station).heading
+        return Vec2(math.cos(heading), math.sin(heading)) * self._speed

@@ -1,0 +1,120 @@
+"""Scenario definitions: route + speed + duration + vehicle/sensor config.
+
+A scenario fixes everything about a run except the controller and the
+attack campaign, which the experiment grid varies.  The standard scenarios
+mirror the test cases an AV control-algorithm evaluation drives: straight,
+constant-radius curve, s-curve, lane change, slalom, and a closed urban
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geom.polyline import Polyline
+from repro.geom.routes import (
+    arc_route,
+    lane_change_route,
+    s_curve_route,
+    slalom_route,
+    straight_route,
+    urban_loop_route,
+)
+from repro.sim.lead import LeadVehicleConfig
+from repro.sim.sensors.suite import SensorSuiteConfig
+
+__all__ = ["Scenario", "ScenarioOutcome", "standard_scenarios", "acc_scenario"]
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A fully specified driving task."""
+
+    name: str
+    route: Polyline
+    cruise_speed: float = 10.0
+    duration: float = 60.0
+    dt: float = 0.05
+    model: str = "kinematic"
+    """Dynamics model: ``kinematic`` or ``dynamic``."""
+    seed: int = 0
+    sensors: SensorSuiteConfig = field(default_factory=SensorSuiteConfig)
+    initial_lateral_offset: float = 0.0
+    """Spawn offset left of the route start (tests convergence)."""
+    initial_speed: float = 0.0
+    lead: LeadVehicleConfig | None = None
+    """Optional lead vehicle (enables the radar + ACC car-following path)."""
+
+    def __post_init__(self) -> None:
+        if self.cruise_speed <= 0:
+            raise ValueError("cruise_speed must be positive")
+        if self.duration <= 0 or self.dt <= 0:
+            raise ValueError("duration and dt must be positive")
+        if self.dt > 0.2:
+            raise ValueError("dt above 0.2 s destabilizes the control loop")
+
+    @property
+    def num_steps(self) -> int:
+        return int(round(self.duration / self.dt))
+
+    def with_seed(self, seed: int) -> "Scenario":
+        import dataclasses
+
+        return dataclasses.replace(self, seed=seed)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioOutcome:
+    """Qualitative outcome labels computed by the engine."""
+
+    completed: bool
+    """The run executed its full duration."""
+    diverged: bool
+    """Ground-truth cross-track error exceeded the divergence bound."""
+    divergence_time: float | None
+
+
+def standard_scenarios(seed: int = 0, duration: float | None = None) -> dict[str, Scenario]:
+    """The six standard scenarios, keyed by name.
+
+    Args:
+        seed: base seed stamped into every scenario.
+        duration: optionally override every scenario's duration (the
+            experiment harness shortens runs for quick modes).
+    """
+
+    def make(name: str, route: Polyline, cruise: float, dur: float) -> Scenario:
+        return Scenario(
+            name=name,
+            route=route,
+            cruise_speed=cruise,
+            duration=duration if duration is not None else dur,
+            seed=seed,
+        )
+
+    return {
+        "straight": make("straight", straight_route(length=400.0), 10.0, 45.0),
+        "curve": make("curve", arc_route(radius=40.0, lead_in=40.0), 8.0, 45.0),
+        "s_curve": make("s_curve", s_curve_route(length=300.0), 8.0, 50.0),
+        "lane_change": make(
+            "lane_change", lane_change_route(approach=80.0, tail=120.0), 10.0, 35.0
+        ),
+        "slalom": make("slalom", slalom_route(num_gates=8), 7.0, 45.0),
+        "urban_loop": make("urban_loop", urban_loop_route(), 8.0, 60.0),
+    }
+
+
+def acc_scenario(seed: int = 0, duration: float = 55.0,
+                 lead: LeadVehicleConfig | None = None) -> Scenario:
+    """The car-following scenario: long straight with a slowing lead.
+
+    Used by the ACC-debugging experiment (E12) and the radar-attack tests.
+    """
+    return Scenario(
+        name="acc_follow",
+        route=straight_route(length=380.0),
+        cruise_speed=12.0,
+        duration=duration,
+        seed=seed,
+        lead=lead or LeadVehicleConfig.slowdown(),
+    )

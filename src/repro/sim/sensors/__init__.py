@@ -1,0 +1,30 @@
+"""Sensor models: rate-scheduled, noisy views of the ground truth.
+
+Each sensor samples the vehicle's true state at its own rate, corrupts it
+with a configurable noise model, and produces a typed reading.  Attacks act
+on these readings *after* the sensor and *before* the estimator — exactly
+the man-in-the-middle position of the spoofing attacks the paper debugs.
+"""
+
+from repro.sim.sensors.base import Sensor, SensorConfig
+from repro.sim.sensors.compass import Compass, CompassReading
+from repro.sim.sensors.gps import Gps, GpsFix
+from repro.sim.sensors.imu import Imu, ImuReading
+from repro.sim.sensors.odometry import Odometry, OdometryReading
+from repro.sim.sensors.suite import SensorReadings, SensorSuite, SensorSuiteConfig
+
+__all__ = [
+    "Sensor",
+    "SensorConfig",
+    "Gps",
+    "GpsFix",
+    "Imu",
+    "ImuReading",
+    "Odometry",
+    "OdometryReading",
+    "Compass",
+    "CompassReading",
+    "SensorSuite",
+    "SensorSuiteConfig",
+    "SensorReadings",
+]

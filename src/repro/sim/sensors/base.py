@@ -1,0 +1,77 @@
+"""Shared sensor machinery: rate scheduling and noise stream wiring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SensorConfig", "Sensor"]
+
+
+@dataclass(frozen=True, slots=True)
+class SensorConfig:
+    """Configuration common to all sensors."""
+
+    rate_hz: float
+    """Sampling rate; a reading is produced every ``1/rate_hz`` seconds."""
+    dropout_prob: float = 0.0
+    """Per-sample probability that the reading is lost (no output)."""
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if not 0.0 <= self.dropout_prob < 1.0:
+            raise ValueError("dropout_prob must be in [0, 1)")
+
+    @property
+    def period(self) -> float:
+        return 1.0 / self.rate_hz
+
+
+class Sensor:
+    """Base sensor: decides *when* to sample; subclasses decide *what*.
+
+    Subclasses implement ``_measure(t, state) -> reading``.  The base class
+    handles the sampling schedule and dropout so all sensors share the same
+    timing semantics: the first sample fires at t=0, then every period.
+    """
+
+    channel: str = "sensor"
+
+    def __init__(self, config: SensorConfig, rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+        self._next_sample_time = 0.0
+
+    def reset(self) -> None:
+        """Restart the sampling schedule (scenario start)."""
+        self._next_sample_time = 0.0
+
+    def sample_due(self, t: float) -> bool:
+        """Advance the schedule; True iff a sample is due (and not dropped).
+
+        A single sample at most is produced per call; the engine polls
+        every simulation step and steps are shorter than sensor periods.
+        """
+        if t + 1e-9 < self._next_sample_time:
+            return False
+        self._next_sample_time += self.config.period
+        # Catch up if the caller skipped time (should not happen in the
+        # fixed-step engine, but keeps the schedule well defined).
+        if self._next_sample_time <= t:
+            self._next_sample_time = t + self.config.period
+        if self.config.dropout_prob > 0.0 and (
+            self.rng.random() < self.config.dropout_prob
+        ):
+            return False
+        return True
+
+    def poll(self, t: float, state) -> object | None:
+        """Return a reading if one is due at time ``t``, else ``None``."""
+        if not self.sample_due(t):
+            return None
+        return self._measure(t, state)
+
+    def _measure(self, t: float, state) -> object:
+        raise NotImplementedError

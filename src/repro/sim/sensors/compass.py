@@ -1,0 +1,58 @@
+"""Heading sensor (magnetometer-derived compass / dual-antenna GNSS heading).
+
+Provides an absolute yaw observation, which the EKF needs to keep heading
+observable, and which the A8 IMU/compass consistency assertion compares
+against integrated gyro rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geom.angles import normalize_angle
+from repro.sim.dynamics import VehicleState
+from repro.sim.sensors.base import Sensor, SensorConfig
+
+__all__ = ["CompassReading", "Compass", "CompassConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompassReading:
+    """One absolute-heading sample."""
+
+    t: float
+    yaw: float
+    """Heading, rad, in (-pi, pi]."""
+
+    def rotated(self, dyaw: float) -> "CompassReading":
+        return CompassReading(self.t, normalize_angle(self.yaw + dyaw))
+
+
+@dataclass(frozen=True, slots=True)
+class CompassConfig(SensorConfig):
+    """Compass noise model parameters."""
+
+    rate_hz: float = 10.0
+    noise_std: float = 0.01
+    """White heading noise, rad (~0.6 degrees)."""
+
+    def __post_init__(self) -> None:
+        SensorConfig.__post_init__(self)
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+
+class Compass(Sensor):
+    """Absolute-heading sensor producing :class:`CompassReading` samples."""
+
+    channel = "compass"
+
+    def __init__(self, config: CompassConfig, rng: np.random.Generator):
+        super().__init__(config, rng)
+        self.compass_config = config
+
+    def _measure(self, t: float, state: VehicleState) -> CompassReading:
+        noise = float(self.rng.normal(0.0, self.compass_config.noise_std))
+        return CompassReading(t=t, yaw=normalize_angle(state.yaw + noise))

@@ -1,0 +1,75 @@
+"""GNSS/GPS position sensor.
+
+The paper's vehicle localizes from GNSS projected into a local East-North
+frame; we model the sensor directly in that frame.  Noise is white Gaussian
+per axis plus an optional slowly-varying random-walk component that mimics
+multipath/atmospheric error correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.dynamics import VehicleState
+from repro.sim.sensors.base import Sensor, SensorConfig
+
+__all__ = ["GpsFix", "Gps", "GpsConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class GpsFix:
+    """A single GPS position fix in the local frame."""
+
+    t: float
+    x: float
+    y: float
+
+    def offset(self, dx: float, dy: float) -> "GpsFix":
+        """A copy displaced by ``(dx, dy)`` — used by spoofing attacks."""
+        return GpsFix(self.t, self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True, slots=True)
+class GpsConfig(SensorConfig):
+    """GPS-specific configuration (extends the common sensor config)."""
+
+    rate_hz: float = 10.0
+    noise_std: float = 0.35
+    """White position noise per axis, meters (RTK-ish quality ~ 0.1-0.5)."""
+    walk_std: float = 0.02
+    """Random-walk increment std per sample, meters (correlated error)."""
+
+    def __post_init__(self) -> None:
+        SensorConfig.__post_init__(self)
+        if self.noise_std < 0 or self.walk_std < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+
+class Gps(Sensor):
+    """GPS sensor producing :class:`GpsFix` readings."""
+
+    channel = "gps"
+
+    def __init__(self, config: GpsConfig, rng: np.random.Generator):
+        super().__init__(config, rng)
+        self.gps_config = config
+        self._walk = np.zeros(2)
+
+    def reset(self) -> None:
+        super().reset()
+        self._walk = np.zeros(2)
+
+    def _measure(self, t: float, state: VehicleState) -> GpsFix:
+        cfg = self.gps_config
+        if cfg.walk_std > 0:
+            self._walk = self._walk + self.rng.normal(0.0, cfg.walk_std, size=2)
+        noise = self.rng.normal(0.0, cfg.noise_std, size=2) if cfg.noise_std > 0 else (
+            np.zeros(2)
+        )
+        return GpsFix(
+            t=t,
+            x=state.x + float(self._walk[0]) + float(noise[0]),
+            y=state.y + float(self._walk[1]) + float(noise[1]),
+        )

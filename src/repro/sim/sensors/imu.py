@@ -1,0 +1,86 @@
+"""IMU: yaw-rate gyro + longitudinal accelerometer.
+
+Readings carry a constant bias drawn once per run plus white noise — the
+standard error model for a consumer-grade MEMS IMU.  The EKF uses the IMU
+as its prediction input, so IMU attacks corrupt dead reckoning directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.dynamics import VehicleState
+from repro.sim.sensors.base import Sensor, SensorConfig
+
+__all__ = ["ImuReading", "Imu", "ImuConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ImuReading:
+    """One IMU sample."""
+
+    t: float
+    yaw_rate: float
+    """Gyro z-axis, rad/s."""
+    accel: float
+    """Longitudinal accelerometer, m/s^2."""
+
+    def with_yaw_rate(self, yaw_rate: float) -> "ImuReading":
+        return ImuReading(self.t, yaw_rate, self.accel)
+
+    def with_accel(self, accel: float) -> "ImuReading":
+        return ImuReading(self.t, self.yaw_rate, accel)
+
+
+@dataclass(frozen=True, slots=True)
+class ImuConfig(SensorConfig):
+    """IMU noise model parameters."""
+
+    rate_hz: float = 50.0
+    gyro_noise_std: float = 0.004
+    """White gyro noise, rad/s."""
+    gyro_bias_std: float = 0.002
+    """Std of the per-run constant gyro bias, rad/s."""
+    accel_noise_std: float = 0.06
+    """White accelerometer noise, m/s^2."""
+    accel_bias_std: float = 0.03
+    """Std of the per-run constant accelerometer bias, m/s^2."""
+
+    def __post_init__(self) -> None:
+        SensorConfig.__post_init__(self)
+        if min(self.gyro_noise_std, self.gyro_bias_std,
+               self.accel_noise_std, self.accel_bias_std) < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+
+class Imu(Sensor):
+    """IMU sensor producing :class:`ImuReading` samples."""
+
+    channel = "imu"
+
+    def __init__(self, config: ImuConfig, rng: np.random.Generator):
+        super().__init__(config, rng)
+        self.imu_config = config
+        self._gyro_bias = float(rng.normal(0.0, config.gyro_bias_std))
+        self._accel_bias = float(rng.normal(0.0, config.accel_bias_std))
+
+    @property
+    def gyro_bias(self) -> float:
+        """The (hidden) constant gyro bias of this run."""
+        return self._gyro_bias
+
+    def _measure(self, t: float, state: VehicleState) -> ImuReading:
+        cfg = self.imu_config
+        yaw_rate = (
+            state.yaw_rate
+            + self._gyro_bias
+            + float(self.rng.normal(0.0, cfg.gyro_noise_std))
+        )
+        accel = (
+            state.accel
+            + self._accel_bias
+            + float(self.rng.normal(0.0, cfg.accel_noise_std))
+        )
+        return ImuReading(t=t, yaw_rate=yaw_rate, accel=accel)

@@ -1,0 +1,60 @@
+"""Wheel odometry: speed from wheel encoders.
+
+Modeled as the true longitudinal speed scaled by a per-run wheel-radius
+calibration factor plus white noise.  Odometry attacks manipulate the scale
+(e.g. a compromised wheel-speed CAN message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.dynamics import VehicleState
+from repro.sim.sensors.base import Sensor, SensorConfig
+
+__all__ = ["OdometryReading", "Odometry", "OdometryConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class OdometryReading:
+    """One wheel-speed sample."""
+
+    t: float
+    speed: float
+    """Measured longitudinal speed, m/s (non-negative)."""
+
+    def scaled(self, factor: float) -> "OdometryReading":
+        return OdometryReading(self.t, max(self.speed * factor, 0.0))
+
+
+@dataclass(frozen=True, slots=True)
+class OdometryConfig(SensorConfig):
+    """Wheel-odometry noise model parameters."""
+
+    rate_hz: float = 20.0
+    noise_std: float = 0.05
+    """White speed noise, m/s."""
+    scale_error_std: float = 0.003
+    """Std of the per-run multiplicative calibration error."""
+
+    def __post_init__(self) -> None:
+        SensorConfig.__post_init__(self)
+        if self.noise_std < 0 or self.scale_error_std < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+
+class Odometry(Sensor):
+    """Wheel-speed sensor producing :class:`OdometryReading` samples."""
+
+    channel = "odometry"
+
+    def __init__(self, config: OdometryConfig, rng: np.random.Generator):
+        super().__init__(config, rng)
+        self.odo_config = config
+        self._scale = 1.0 + float(rng.normal(0.0, config.scale_error_std))
+
+    def _measure(self, t: float, state: VehicleState) -> OdometryReading:
+        noise = float(self.rng.normal(0.0, self.odo_config.noise_std))
+        return OdometryReading(t=t, speed=max(state.v * self._scale + noise, 0.0))

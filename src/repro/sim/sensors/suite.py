@@ -1,0 +1,78 @@
+"""The vehicle's sensor suite: all sensors polled together each step."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.dynamics import VehicleState
+from repro.sim.rng import RngStreams
+from repro.sim.sensors.compass import Compass, CompassConfig, CompassReading
+from repro.sim.sensors.gps import Gps, GpsConfig, GpsFix
+from repro.sim.sensors.imu import Imu, ImuConfig, ImuReading
+from repro.sim.sensors.odometry import Odometry, OdometryConfig, OdometryReading
+
+__all__ = ["SensorSuiteConfig", "SensorReadings", "SensorSuite"]
+
+
+@dataclass(frozen=True, slots=True)
+class SensorSuiteConfig:
+    """Configuration of the full suite; defaults match an AV research car."""
+
+    gps: GpsConfig = field(default_factory=GpsConfig)
+    imu: ImuConfig = field(default_factory=ImuConfig)
+    odometry: OdometryConfig = field(default_factory=OdometryConfig)
+    compass: CompassConfig = field(default_factory=CompassConfig)
+
+    @staticmethod
+    def noiseless() -> "SensorSuiteConfig":
+        """An idealized suite (zero noise), useful for unit tests."""
+        return SensorSuiteConfig(
+            gps=GpsConfig(noise_std=0.0, walk_std=0.0),
+            imu=ImuConfig(
+                gyro_noise_std=0.0,
+                gyro_bias_std=0.0,
+                accel_noise_std=0.0,
+                accel_bias_std=0.0,
+            ),
+            odometry=OdometryConfig(noise_std=0.0, scale_error_std=0.0),
+            compass=CompassConfig(noise_std=0.0),
+        )
+
+
+@dataclass(slots=True)
+class SensorReadings:
+    """Fresh readings produced in one engine step (``None`` = not due)."""
+
+    gps: GpsFix | None = None
+    imu: ImuReading | None = None
+    odometry: OdometryReading | None = None
+    compass: CompassReading | None = None
+
+    def any_fresh(self) -> bool:
+        return any(
+            r is not None for r in (self.gps, self.imu, self.odometry, self.compass)
+        )
+
+
+class SensorSuite:
+    """All four sensors, each on its own noise stream and schedule."""
+
+    def __init__(self, config: SensorSuiteConfig, rngs: RngStreams):
+        self.config = config
+        self.gps = Gps(config.gps, rngs.stream("sensor.gps"))
+        self.imu = Imu(config.imu, rngs.stream("sensor.imu"))
+        self.odometry = Odometry(config.odometry, rngs.stream("sensor.odometry"))
+        self.compass = Compass(config.compass, rngs.stream("sensor.compass"))
+
+    def reset(self) -> None:
+        for sensor in (self.gps, self.imu, self.odometry, self.compass):
+            sensor.reset()
+
+    def poll(self, t: float, state: VehicleState) -> SensorReadings:
+        """Poll every sensor; returns whatever is due at time ``t``."""
+        return SensorReadings(
+            gps=self.gps.poll(t, state),
+            imu=self.imu.poll(t, state),
+            odometry=self.odometry.poll(t, state),
+            compass=self.compass.poll(t, state),
+        )

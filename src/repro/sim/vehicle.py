@@ -1,0 +1,86 @@
+"""The simulated vehicle: dynamics model + actuators behind one facade."""
+
+from __future__ import annotations
+
+from repro.geom.vec import Pose
+from repro.sim.actuators import ActuatorLimits, Actuators
+from repro.sim.dynamics import (
+    DynamicBicycleModel,
+    KinematicBicycleModel,
+    VehicleParams,
+    VehicleState,
+)
+
+__all__ = ["Vehicle"]
+
+_MODELS = {
+    "kinematic": KinematicBicycleModel,
+    "dynamic": DynamicBicycleModel,
+}
+
+
+class Vehicle:
+    """A controllable vehicle: hold a command, step the physics.
+
+    The two-phase interface (``apply_control`` then ``step``) mirrors the
+    CARLA actor API and lets attack injectors sit between the controller's
+    command and the actuators.
+    """
+
+    def __init__(
+        self,
+        params: VehicleParams | None = None,
+        model: str = "kinematic",
+        actuator_limits: ActuatorLimits | None = None,
+        initial_state: VehicleState | None = None,
+    ):
+        if model not in _MODELS:
+            raise ValueError(f"unknown model {model!r}; expected one of {sorted(_MODELS)}")
+        self.params = params or VehicleParams()
+        self.model = _MODELS[model](self.params)
+        if actuator_limits is None:
+            actuator_limits = ActuatorLimits(
+                steer_max=self.params.max_steer,
+                accel_max=self.params.max_accel,
+                brake_max=self.params.max_brake,
+            )
+        self.actuators = Actuators(actuator_limits)
+        self._state = initial_state or VehicleState()
+        self._steer_cmd = 0.0
+        self._accel_cmd = 0.0
+
+    @property
+    def state(self) -> VehicleState:
+        """Ground-truth vehicle state."""
+        return self._state
+
+    @property
+    def pose(self) -> Pose:
+        return self._state.pose
+
+    @property
+    def steer_cmd(self) -> float:
+        """Last commanded steering angle (pre-actuator), rad."""
+        return self._steer_cmd
+
+    @property
+    def accel_cmd(self) -> float:
+        """Last commanded acceleration (pre-actuator), m/s^2."""
+        return self._accel_cmd
+
+    def teleport(self, state: VehicleState) -> None:
+        """Set the ground-truth state directly (scenario setup only)."""
+        self._state = state
+
+    def apply_control(self, steer: float, accel: float) -> None:
+        """Latch a control command; it takes effect at the next ``step``."""
+        self._steer_cmd = float(steer)
+        self._accel_cmd = float(accel)
+
+    def step(self, dt: float) -> VehicleState:
+        """Advance actuators and dynamics by ``dt``; returns the new state."""
+        steer_applied, accel_applied = self.actuators.apply(
+            self._steer_cmd, self._accel_cmd, dt
+        )
+        self._state = self.model.step(self._state, steer_applied, accel_applied, dt)
+        return self._state

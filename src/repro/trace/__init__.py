@@ -1,0 +1,40 @@
+"""Trace capture and analysis.
+
+ADAssure is a *trace-based* methodology: everything downstream (assertions,
+diagnosis, experiment tables) consumes the per-step records this package
+defines.  The schema deliberately records three parallel views of the run —
+ground truth, observed (sensors + estimate), and commanded/applied controls
+— so assertions can be written against exactly the channels a given
+deployment would have.
+"""
+
+from repro.trace.analysis import (
+    first_crossing,
+    moving_average,
+    sign_change_rate,
+    sliding_windows,
+)
+from repro.trace.diff import TraceDiff, diff_traces
+from repro.trace.io import read_trace_csv, read_trace_jsonl, write_trace_csv, write_trace_jsonl
+from repro.trace.metrics import TraceMetrics, compute_metrics
+from repro.trace.recorder import TraceRecorder
+from repro.trace.schema import Trace, TraceMeta, TraceRecord
+
+__all__ = [
+    "TraceRecord",
+    "TraceMeta",
+    "Trace",
+    "TraceRecorder",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "read_trace_csv",
+    "TraceMetrics",
+    "compute_metrics",
+    "moving_average",
+    "sliding_windows",
+    "sign_change_rate",
+    "first_crossing",
+    "diff_traces",
+    "TraceDiff",
+]

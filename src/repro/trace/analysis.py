@@ -1,0 +1,129 @@
+"""Signal-analysis helpers shared by metrics, assertions and experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "moving_average",
+    "sliding_windows",
+    "sign_change_rate",
+    "first_crossing",
+    "rms",
+    "max_abs",
+    "settling_time",
+]
+
+
+def moving_average(signal: Sequence[float] | np.ndarray, window: int) -> np.ndarray:
+    """Centered-start moving average with a warm-up ramp.
+
+    The first ``window - 1`` outputs average over the samples available so
+    far, so the output has the same length as the input and no phantom
+    zeros at the start.
+    """
+    x = np.asarray(signal, dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if x.size == 0:
+        return x.copy()
+    cumsum = np.cumsum(x)
+    out = np.empty_like(x)
+    for i in range(x.size):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def sliding_windows(
+    signal: Sequence[float] | np.ndarray, window: int, step: int = 1
+) -> Iterator[np.ndarray]:
+    """Yield overlapping windows of length ``window`` over the signal."""
+    x = np.asarray(signal, dtype=float)
+    if window < 1 or step < 1:
+        raise ValueError("window and step must be >= 1")
+    for start in range(0, max(x.size - window + 1, 0), step):
+        yield x[start:start + window]
+
+
+def sign_change_rate(
+    signal: Sequence[float] | np.ndarray, dt: float, deadband: float = 0.0
+) -> float:
+    """Zero crossings per second, ignoring changes inside ``+-deadband``.
+
+    This is the oscillation metric used by the steering-oscillation
+    assertion (A11): a limit-cycling controller produces a high rate.
+    """
+    x = np.asarray(signal, dtype=float)
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if x.size < 2:
+        return 0.0
+    quantized = np.where(x > deadband, 1, np.where(x < -deadband, -1, 0))
+    last = 0
+    changes = 0
+    for q in quantized:
+        if q != 0:
+            if last != 0 and q != last:
+                changes += 1
+            last = q
+    return changes / (x.size * dt)
+
+
+def first_crossing(
+    signal: Sequence[float] | np.ndarray,
+    threshold: float,
+    times: Sequence[float] | np.ndarray | None = None,
+) -> float | None:
+    """Time (or index) of the first sample with ``|signal| > threshold``."""
+    x = np.asarray(signal, dtype=float)
+    idx = np.flatnonzero(np.abs(x) > threshold)
+    if idx.size == 0:
+        return None
+    i = int(idx[0])
+    if times is None:
+        return float(i)
+    return float(np.asarray(times, dtype=float)[i])
+
+
+def rms(signal: Sequence[float] | np.ndarray) -> float:
+    """Root-mean-square of a signal (0.0 for an empty signal)."""
+    x = np.asarray(signal, dtype=float)
+    if x.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(x * x)))
+
+
+def max_abs(signal: Sequence[float] | np.ndarray) -> float:
+    """Maximum absolute value (0.0 for an empty signal)."""
+    x = np.asarray(signal, dtype=float)
+    if x.size == 0:
+        return 0.0
+    return float(np.max(np.abs(x)))
+
+
+def settling_time(
+    signal: Sequence[float] | np.ndarray,
+    times: Sequence[float] | np.ndarray,
+    band: float,
+) -> float | None:
+    """Earliest time after which the signal stays within ``+-band`` forever.
+
+    Returns ``None`` if the signal never settles within the trace.
+    """
+    x = np.asarray(signal, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if x.shape != t.shape:
+        raise ValueError("signal and times must have the same shape")
+    if x.size == 0:
+        return None
+    outside = np.abs(x) > band
+    if not outside.any():
+        return float(t[0])
+    last_outside = int(np.flatnonzero(outside)[-1])
+    if last_outside == x.size - 1:
+        return None
+    return float(t[last_outside + 1])

@@ -1,0 +1,140 @@
+"""Trace differencing: localize *when and where* two runs diverge.
+
+A standard ADAssure debugging move: re-run the scenario without the
+suspected fault (or with yesterday's controller build) and diff the
+traces.  The diff reports, per channel, the first time the two runs
+diverge beyond a channel-appropriate tolerance — which orders the causal
+chain (the GPS channel diverging before the steering command diverging
+before the pose diverging tells the story at a glance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.schema import Trace
+
+__all__ = ["ChannelDivergence", "TraceDiff", "diff_traces"]
+
+# Channel -> absolute tolerance used to call a divergence.  Chosen per
+# physical unit at roughly 3x the nominal sensor/actuation noise floor.
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "true_x": 0.5, "true_y": 0.5, "true_yaw": 0.05, "true_v": 0.5,
+    "cte_true": 0.5, "heading_err_true": 0.05,
+    "gps_x": 1.2, "gps_y": 1.2,
+    "imu_yaw_rate": 0.03, "odom_speed": 0.5, "compass_yaw": 0.05,
+    "est_x": 0.8, "est_y": 0.8, "est_yaw": 0.05, "est_v": 0.5,
+    "nis_gps": 8.0, "nis_speed": 6.0, "nis_compass": 6.0,
+    "steer_cmd": 0.04, "accel_cmd": 0.8,
+    "steer_applied": 0.04, "accel_applied": 0.8,
+    "radar_range": 1.0, "radar_range_rate": 0.8,
+    "target_speed": 0.5,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelDivergence:
+    """First divergence of one channel between two traces."""
+
+    channel: str
+    t_first: float
+    """Time of the first sample beyond tolerance."""
+    max_abs_diff: float
+    tolerance: float
+
+
+@dataclass(slots=True)
+class TraceDiff:
+    """Ordered per-channel divergence report."""
+
+    duration_compared: float
+    divergences: list[ChannelDivergence]
+    """Only channels that diverged, ordered by first divergence time."""
+
+    @property
+    def first_channel(self) -> str | None:
+        """The first channel to diverge — the head of the causal chain."""
+        return self.divergences[0].channel if self.divergences else None
+
+    def diverged(self, channel: str) -> bool:
+        return any(d.channel == channel for d in self.divergences)
+
+    def render(self, max_rows: int = 15) -> str:
+        """Human-readable divergence timeline."""
+        if not self.divergences:
+            return ("traces are equivalent within tolerances over "
+                    f"{self.duration_compared:.1f} s")
+        lines = [
+            f"trace divergence timeline ({self.duration_compared:.1f} s "
+            f"compared; {len(self.divergences)} channel(s) diverged):"
+        ]
+        for d in self.divergences[:max_rows]:
+            lines.append(
+                f"  t={d.t_first:6.2f} s  {d.channel:<18} "
+                f"max |diff| {d.max_abs_diff:9.3f} (tol {d.tolerance:g})"
+            )
+        if len(self.divergences) > max_rows:
+            lines.append(f"  ... and {len(self.divergences) - max_rows} more")
+        return "\n".join(lines)
+
+
+def diff_traces(
+    reference: Trace,
+    candidate: Trace,
+    channels: list[str] | None = None,
+    tolerances: dict[str, float] | None = None,
+) -> TraceDiff:
+    """Compare two traces channel by channel.
+
+    The traces must share the same time base (same scenario/dt); the
+    comparison covers their common prefix.
+
+    Args:
+        reference: the known-good run.
+        candidate: the anomalous run.
+        channels: channels to compare (default: every channel with a
+            default tolerance).
+        tolerances: per-channel absolute tolerance overrides.
+
+    Raises:
+        ValueError: on empty traces or mismatched time bases.
+    """
+    if len(reference) == 0 or len(candidate) == 0:
+        raise ValueError("cannot diff empty traces")
+    if abs(reference.dt - candidate.dt) > 1e-9:
+        raise ValueError(
+            f"traces have different time steps "
+            f"({reference.dt} vs {candidate.dt})"
+        )
+    n = min(len(reference), len(candidate))
+    ref = reference[:n]
+    cand = candidate[:n]
+    t = ref.times()
+
+    tol_map = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol_map.update(tolerances)
+    selected = channels if channels is not None else list(DEFAULT_TOLERANCES)
+
+    divergences = []
+    for channel in selected:
+        if channel not in tol_map:
+            raise ValueError(f"no tolerance known for channel {channel!r}; "
+                             "pass one via `tolerances`")
+        tol = tol_map[channel]
+        diff = np.abs(ref.column(channel) - cand.column(channel))
+        beyond = np.flatnonzero(diff > tol)
+        if beyond.size:
+            divergences.append(ChannelDivergence(
+                channel=channel,
+                t_first=float(t[beyond[0]]),
+                max_abs_diff=float(diff.max()),
+                tolerance=tol,
+            ))
+    divergences.sort(key=lambda d: (d.t_first, d.channel))
+    return TraceDiff(
+        duration_compared=float(t[-1] - t[0]) if n > 1 else 0.0,
+        divergences=divergences,
+    )

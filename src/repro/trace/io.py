@@ -1,0 +1,119 @@
+"""Trace serialization: JSONL (lossless) and CSV (spreadsheet-friendly).
+
+The JSONL format stores one metadata header line followed by one record
+per line; round-tripping is exact up to float repr (Python's ``repr`` of a
+float is lossless).  CSV stores only the record table and takes the
+metadata as a sidecar dict embedded in a ``# meta:`` comment line.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.trace.schema import Trace, TraceMeta, TraceRecord
+
+__all__ = [
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "read_trace_csv",
+]
+
+_BOOL_CHANNELS = frozenset(
+    name for name in Trace.field_names
+    if name.endswith("_fresh") or name in ("attack_active", "lead_present")
+)
+
+
+def _record_to_dict(record: TraceRecord) -> dict:
+    return {name: getattr(record, name) for name in Trace.field_names}
+
+
+def _record_from_dict(data: dict) -> TraceRecord:
+    kwargs = {}
+    for name in Trace.field_names:
+        if name not in data:
+            raise ValueError(f"record is missing channel {name!r}")
+        kwargs[name] = data[name]
+    kwargs["step"] = int(kwargs["step"])
+    return TraceRecord(**kwargs)
+
+
+def write_trace_jsonl(trace: Trace, path: str | Path) -> None:
+    """Write a trace to a JSON-lines file (header line + one record/line)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as f:
+        f.write(json.dumps({"meta": trace.meta.to_dict()}) + "\n")
+        for record in trace:
+            f.write(json.dumps(_record_to_dict(record)) + "\n")
+
+
+def read_trace_jsonl(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as f:
+        header = f.readline()
+        if not header:
+            raise ValueError(f"{path}: empty trace file")
+        head = json.loads(header)
+        if "meta" not in head:
+            raise ValueError(f"{path}: missing metadata header line")
+        meta = TraceMeta.from_dict(head["meta"])
+        trace = Trace(meta)
+        for line_no, line in enumerate(f, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                trace.append(_record_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad trace record: {exc}") from exc
+    return trace
+
+
+def write_trace_csv(trace: Trace, path: str | Path) -> None:
+    """Write a trace as CSV with a ``# meta:`` comment header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as f:
+        f.write("# meta: " + json.dumps(trace.meta.to_dict()) + "\n")
+        writer = csv.writer(f)
+        writer.writerow(Trace.field_names)
+        for record in trace:
+            writer.writerow(getattr(record, name) for name in Trace.field_names)
+
+
+def read_trace_csv(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_csv`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as f:
+        first = f.readline()
+        meta = TraceMeta()
+        if first.startswith("# meta:"):
+            meta = TraceMeta.from_dict(json.loads(first[len("# meta:"):]))
+            header_line = None
+        else:
+            header_line = first
+        reader = csv.reader(f)
+        if header_line is not None:
+            header = next(csv.reader([header_line]))
+        else:
+            header = next(reader)
+        if tuple(header) != Trace.field_names:
+            raise ValueError(f"{path}: unexpected CSV columns")
+        trace = Trace(meta)
+        for row in reader:
+            data = dict(zip(Trace.field_names, row))
+            kwargs = {}
+            for name, raw in data.items():
+                if name in ("attack_name", "attack_channel"):
+                    kwargs[name] = raw
+                elif name == "step":
+                    kwargs[name] = int(raw)
+                elif name in _BOOL_CHANNELS:
+                    kwargs[name] = raw in ("True", "true", "1")
+                else:
+                    kwargs[name] = float(raw)
+            trace.append(TraceRecord(**kwargs))
+    return trace

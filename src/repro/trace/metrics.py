@@ -1,0 +1,126 @@
+"""Run-level metrics computed from a trace.
+
+These are the behavioural scores the experiment tables report: tracking
+quality (cross-track error statistics), safety margins (peak lateral
+acceleration), comfort (steering smoothness), and progress/goal outcome.
+All are computed on ground-truth channels — they score what the vehicle
+*actually did*, independent of what its (possibly attacked) sensors said.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.analysis import max_abs, rms, sign_change_rate
+from repro.trace.schema import Trace
+
+__all__ = ["TraceMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceMetrics:
+    """Scalar summary of one run."""
+
+    duration: float
+    distance: float
+    """Ground-truth distance travelled, meters."""
+    mean_abs_cte: float
+    rms_cte: float
+    max_abs_cte: float
+    mean_abs_heading_err: float
+    max_lat_accel: float
+    mean_speed: float
+    speed_rmse: float
+    """RMS of (true speed - target speed) after the launch transient."""
+    steer_rms: float
+    steer_oscillation_hz: float
+    """Sign-change rate of the steering command (limit-cycle indicator)."""
+    goal_reached: bool
+    progress_fraction: float
+    """Fraction of the route length covered (clamped to [0, 1])."""
+
+    def as_dict(self) -> dict:
+        return {
+            "duration": self.duration,
+            "distance": self.distance,
+            "mean_abs_cte": self.mean_abs_cte,
+            "rms_cte": self.rms_cte,
+            "max_abs_cte": self.max_abs_cte,
+            "mean_abs_heading_err": self.mean_abs_heading_err,
+            "max_lat_accel": self.max_lat_accel,
+            "mean_speed": self.mean_speed,
+            "speed_rmse": self.speed_rmse,
+            "steer_rms": self.steer_rms,
+            "steer_oscillation_hz": self.steer_oscillation_hz,
+            "goal_reached": self.goal_reached,
+            "progress_fraction": self.progress_fraction,
+        }
+
+
+_LAUNCH_TRANSIENT_S = 5.0
+_GOAL_RADIUS_M = 3.0
+
+
+def compute_metrics(trace: Trace) -> TraceMetrics:
+    """Compute the scalar summary for a finished run.
+
+    Raises:
+        ValueError: for an empty trace (no behaviour to score).
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot compute metrics for an empty trace")
+
+    t = trace.times()
+    cte = trace.column("cte_true")
+    heading_err = trace.column("heading_err_true")
+    lat_accel = trace.column("true_lat_accel")
+    v = trace.column("true_v")
+    target_v = trace.column("target_speed")
+    steer_cmd = trace.column("steer_cmd")
+    station = trace.column("station_true")
+    dist_to_goal = trace.column("dist_to_goal")
+
+    # Distance travelled from the speed profile (robust to closed routes
+    # where the station wraps).
+    dt = trace.dt
+    distance = float(np.sum(v) * dt)
+
+    after_launch = t >= (t[0] + _LAUNCH_TRANSIENT_S)
+    if after_launch.any():
+        speed_rmse = rms((v - target_v)[after_launch])
+    else:
+        speed_rmse = rms(v - target_v)
+
+    route_length = trace.meta.route_length
+    if route_length > 0:
+        # Monotone envelope of the station handles brief backward
+        # projections near corners; closed routes accumulate laps.
+        progress = float(np.max(station)) / route_length
+        progress_fraction = min(max(progress, 0.0), 1.0)
+    else:
+        progress_fraction = 0.0
+
+    if dist_to_goal[-1] < 0:
+        # Closed-loop route: "goal" is not defined; count continued
+        # progress as success.
+        goal_reached = progress_fraction >= 0.5
+    else:
+        goal_reached = bool(np.min(dist_to_goal) <= _GOAL_RADIUS_M)
+
+    return TraceMetrics(
+        duration=trace.duration,
+        distance=distance,
+        mean_abs_cte=float(np.mean(np.abs(cte))),
+        rms_cte=rms(cte),
+        max_abs_cte=max_abs(cte),
+        mean_abs_heading_err=float(np.mean(np.abs(heading_err))),
+        max_lat_accel=max_abs(lat_accel),
+        mean_speed=float(np.mean(v)),
+        speed_rmse=speed_rmse,
+        steer_rms=rms(steer_cmd),
+        steer_oscillation_hz=sign_change_rate(steer_cmd, dt, deadband=0.01),
+        goal_reached=goal_reached,
+        progress_fraction=progress_fraction,
+    )

@@ -1,0 +1,106 @@
+"""Trace recorder: assembles per-step records inside the engine loop."""
+
+from __future__ import annotations
+
+from repro.trace.schema import Trace, TraceMeta, TraceRecord
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Builds a :class:`~repro.trace.schema.Trace` one step at a time.
+
+    The recorder also implements the zero-order hold for sensor channels:
+    callers pass only *fresh* readings and the recorder carries the last
+    value forward, setting the ``*_fresh`` flags accordingly.
+    """
+
+    def __init__(self, meta: TraceMeta):
+        self.trace = Trace(meta)
+        self._last_gps = (0.0, 0.0)
+        self._last_imu = (0.0, 0.0)
+        self._last_odom = 0.0
+        self._last_compass = 0.0
+        self._last_radar = (0.0, 0.0)
+
+    def record(
+        self,
+        *,
+        step: int,
+        t: float,
+        truth: dict,
+        gps: tuple[float, float] | None,
+        imu: tuple[float, float] | None,
+        odom: float | None,
+        compass: float | None,
+        estimate: dict,
+        control: dict,
+        actuation: dict,
+        attack: dict,
+        radar: tuple[float, float] | None = None,
+        lead: dict | None = None,
+    ) -> TraceRecord:
+        """Assemble and append one record; returns it for online use."""
+        if gps is not None:
+            self._last_gps = gps
+        if imu is not None:
+            self._last_imu = imu
+        if odom is not None:
+            self._last_odom = odom
+        if compass is not None:
+            self._last_compass = compass
+        if radar is not None:
+            self._last_radar = radar
+
+        record = TraceRecord(
+            step=step,
+            t=t,
+            true_x=truth["x"],
+            true_y=truth["y"],
+            true_yaw=truth["yaw"],
+            true_v=truth["v"],
+            true_yaw_rate=truth["yaw_rate"],
+            true_accel=truth["accel"],
+            true_lat_accel=truth["lat_accel"],
+            cte_true=truth["cte"],
+            heading_err_true=truth["heading_err"],
+            station_true=truth["station"],
+            dist_to_goal=truth["dist_to_goal"],
+            gps_x=self._last_gps[0],
+            gps_y=self._last_gps[1],
+            gps_fresh=gps is not None,
+            imu_yaw_rate=self._last_imu[0],
+            imu_accel=self._last_imu[1],
+            imu_fresh=imu is not None,
+            odom_speed=self._last_odom,
+            odom_fresh=odom is not None,
+            compass_yaw=self._last_compass,
+            compass_fresh=compass is not None,
+            radar_range=self._last_radar[0],
+            radar_range_rate=self._last_radar[1],
+            radar_fresh=radar is not None,
+            lead_present=lead is not None,
+            gap_true=lead["gap"] if lead else 0.0,
+            lead_speed=lead["speed"] if lead else 0.0,
+            est_x=estimate["x"],
+            est_y=estimate["y"],
+            est_yaw=estimate["yaw"],
+            est_v=estimate["v"],
+            est_cov_trace=estimate["cov_trace"],
+            nis_gps=estimate["nis_gps"],
+            nis_speed=estimate["nis_speed"],
+            nis_compass=estimate["nis_compass"],
+            cte_est=control["cte"],
+            heading_err_est=control["heading_err"],
+            station_est=control["station"],
+            target_speed=control["target_speed"],
+            steer_cmd=control["steer_cmd"],
+            accel_cmd=control["accel_cmd"],
+            steer_applied=actuation["steer"],
+            accel_applied=actuation["accel"],
+            attack_active=attack["active"],
+            attack_name=attack["name"],
+            attack_channel=attack["channel"],
+        )
+        self.trace.append(record)
+        return record

@@ -1,0 +1,218 @@
+"""Trace schema: the typed per-step record and the trace container.
+
+Channel naming convention:
+
+* ``true_*``   — simulator ground truth (available in simulation, used by
+  behaviour assertions and by experiment scoring);
+* ``gps_* / imu_* / odom_* / compass_*`` — raw sensor channels *after*
+  attack injection (what the vehicle software actually saw);
+* ``est_*``   — state-estimator output (what the controller consumed);
+* ``*_cmd``   — controller commands; ``*_applied`` — post-actuator values;
+* ``attack_*`` — injection ground-truth labels (never visible to
+  assertions; used only for scoring detection/diagnosis experiments).
+
+Sensor channels hold the *latest* reading (zero-order hold) plus a
+``*_fresh`` flag marking steps where a new reading arrived.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, fields
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["TraceRecord", "TraceMeta", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One simulation step's worth of observations."""
+
+    step: int
+    t: float
+
+    # --- ground truth -------------------------------------------------
+    true_x: float = 0.0
+    true_y: float = 0.0
+    true_yaw: float = 0.0
+    true_v: float = 0.0
+    true_yaw_rate: float = 0.0
+    true_accel: float = 0.0
+    true_lat_accel: float = 0.0
+    cte_true: float = 0.0
+    heading_err_true: float = 0.0
+    station_true: float = 0.0
+    dist_to_goal: float = 0.0
+
+    # --- sensor channels (post-attack, zero-order hold) ---------------
+    gps_x: float = 0.0
+    gps_y: float = 0.0
+    gps_fresh: bool = False
+    imu_yaw_rate: float = 0.0
+    imu_accel: float = 0.0
+    imu_fresh: bool = False
+    odom_speed: float = 0.0
+    odom_fresh: bool = False
+    compass_yaw: float = 0.0
+    compass_fresh: bool = False
+
+    # --- radar / lead vehicle (zero when no lead is present) -----------
+    radar_range: float = 0.0
+    radar_range_rate: float = 0.0
+    radar_fresh: bool = False
+    lead_present: bool = False
+    gap_true: float = 0.0
+    """Ground-truth arc-length gap to the lead vehicle, meters."""
+    lead_speed: float = 0.0
+
+    # --- estimator output ---------------------------------------------
+    est_x: float = 0.0
+    est_y: float = 0.0
+    est_yaw: float = 0.0
+    est_v: float = 0.0
+    est_cov_trace: float = 0.0
+    nis_gps: float = 0.0
+    nis_speed: float = 0.0
+    nis_compass: float = 0.0
+
+    # --- controller view ------------------------------------------------
+    cte_est: float = 0.0
+    heading_err_est: float = 0.0
+    station_est: float = 0.0
+    target_speed: float = 0.0
+    steer_cmd: float = 0.0
+    accel_cmd: float = 0.0
+
+    # --- actuation -------------------------------------------------------
+    steer_applied: float = 0.0
+    accel_applied: float = 0.0
+
+    # --- attack ground truth (scoring only) ------------------------------
+    attack_active: bool = False
+    attack_name: str = ""
+    attack_channel: str = ""
+
+    def replace(self, **changes) -> "TraceRecord":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(TraceRecord))
+
+
+@dataclass(slots=True)
+class TraceMeta:
+    """Run-level metadata attached to a trace."""
+
+    scenario: str = ""
+    controller: str = ""
+    attack: str = "none"
+    seed: int = 0
+    dt: float = 0.05
+    route_length: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "controller": self.controller,
+            "attack": self.attack,
+            "seed": self.seed,
+            "dt": self.dt,
+            "route_length": self.route_length,
+            "extra": dict(self.extra),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TraceMeta":
+        return TraceMeta(
+            scenario=data.get("scenario", ""),
+            controller=data.get("controller", ""),
+            attack=data.get("attack", "none"),
+            seed=int(data.get("seed", 0)),
+            dt=float(data.get("dt", 0.05)),
+            route_length=float(data.get("route_length", 0.0)),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+class Trace:
+    """An ordered sequence of :class:`TraceRecord` with run metadata.
+
+    Supports list-style access and vectorized column extraction for the
+    metric/analysis layer.
+    """
+
+    field_names: tuple[str, ...] = _FIELD_NAMES
+
+    def __init__(self, meta: TraceMeta | None = None,
+                 records: Sequence[TraceRecord] | None = None):
+        self.meta = meta or TraceMeta()
+        self._records: list[TraceRecord] = list(records) if records else []
+
+    # --- container protocol -------------------------------------------
+    def append(self, record: TraceRecord) -> None:
+        if self._records and record.step <= self._records[-1].step:
+            raise ValueError(
+                f"records must have strictly increasing steps "
+                f"(got {record.step} after {self._records[-1].step})"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.meta, self._records[index])
+        return self._records[index]
+
+    @property
+    def records(self) -> Sequence[TraceRecord]:
+        return tuple(self._records)
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace, seconds."""
+        if len(self._records) < 2:
+            return 0.0
+        return self._records[-1].t - self._records[0].t
+
+    @property
+    def dt(self) -> float:
+        return self.meta.dt
+
+    # --- column access --------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """The named channel as a float numpy array (bools become 0/1)."""
+        if name not in _FIELD_NAMES:
+            raise KeyError(f"unknown trace channel {name!r}")
+        if name in ("attack_name", "attack_channel"):
+            raise TypeError(f"channel {name!r} is not numeric; iterate records")
+        return np.array([getattr(r, name) for r in self._records], dtype=float)
+
+    def times(self) -> np.ndarray:
+        return self.column("t")
+
+    def window(self, t_start: float, t_end: float) -> "Trace":
+        """Sub-trace with ``t_start <= t < t_end``."""
+        recs = [r for r in self._records if t_start <= r.t < t_end]
+        return Trace(self.meta, recs)
+
+    def attack_onset(self) -> float | None:
+        """Time of the first step with an active attack, or ``None``."""
+        for r in self._records:
+            if r.attack_active:
+                return r.t
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.meta.scenario!r}, controller={self.meta.controller!r}, "
+            f"attack={self.meta.attack!r}, n={len(self)})"
+        )

@@ -1,0 +1,53 @@
+"""Tests for repro.experiments.ascii_plot."""
+
+import pytest
+
+from repro.experiments.ascii_plot import line_plot, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline(list(range(9)))
+        assert list(s) == sorted(s)
+
+    def test_constant_series(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(set(s)) == 1
+
+    def test_fixed_scale(self):
+        # With a fixed scale the same value renders the same glyph.
+        a = sparkline([1.0], lo=0.0, hi=10.0)
+        b = sparkline([1.0, 9.0], lo=0.0, hi=10.0)
+        assert a[0] == b[0]
+
+
+class TestLinePlot:
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_renders_axes_and_legend(self):
+        text = line_plot(
+            {"nominal": ([0, 1, 2], [0.1, 0.2, 0.1]),
+             "attacked": ([0, 1, 2], [0.1, 1.0, 3.0])},
+            x_label="t [s]", y_label="|cte| [m]",
+        )
+        assert "|cte| [m]" in text
+        assert "t [s]" in text
+        assert "nominal" in text and "attacked" in text
+        assert "└" in text
+
+    def test_distinct_glyphs(self):
+        text = line_plot({"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])})
+        assert "*" in text and "o" in text
+
+    def test_plot_width_respected(self):
+        text = line_plot({"a": ([0, 1], [0, 1])}, width=30, height=6)
+        body_lines = [l for l in text.splitlines() if "│" in l]
+        assert all(len(l) <= 30 + 13 for l in body_lines)

@@ -1,0 +1,203 @@
+"""Tests for repro.attacks: windows, transforms, campaign factory."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.actuator import SteeringOffsetAttack, SteeringStuckAttack
+from repro.attacks.base import Attack, AttackWindow
+from repro.attacks.campaign import ATTACK_CLASSES, AttackCampaign, make_attack, standard_attack
+from repro.attacks.channel import CommandDelayAttack, CommandDropAttack
+from repro.attacks.compass import CompassOffsetAttack
+from repro.attacks.gps import (
+    GpsBiasAttack,
+    GpsDriftAttack,
+    GpsFreezeAttack,
+    GpsNoiseAttack,
+    GpsReplayAttack,
+)
+from repro.attacks.imu import ImuAccelBiasAttack, ImuGyroBiasAttack
+from repro.attacks.odometry import OdometryScaleAttack
+from repro.sim.sensors.compass import CompassReading
+from repro.sim.sensors.gps import GpsFix
+from repro.sim.sensors.imu import ImuReading
+from repro.sim.sensors.odometry import OdometryReading
+
+
+class TestAttackWindow:
+    def test_contains_half_open(self):
+        w = AttackWindow(10.0, 20.0)
+        assert not w.contains(9.99)
+        assert w.contains(10.0)
+        assert w.contains(19.99)
+        assert not w.contains(20.0)
+
+    def test_elapsed(self):
+        w = AttackWindow(10.0, 20.0)
+        assert w.elapsed(5.0) == 0.0
+        assert w.elapsed(13.5) == pytest.approx(3.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AttackWindow(5.0, 5.0)
+
+    def test_default_never_ends(self):
+        assert AttackWindow(0.0).contains(1e9)
+
+
+class TestBaseHooks:
+    def test_default_hooks_are_identity(self):
+        attack = Attack()
+        fix = GpsFix(1.0, 2.0, 3.0)
+        assert attack.on_gps(1.0, fix) is fix
+        assert attack.on_command(1.0, 0.1, 0.2) == (0.1, 0.2)
+
+
+class TestGpsAttacks:
+    def test_bias(self):
+        attack = GpsBiasAttack(1.0, -2.0)
+        out = attack.on_gps(0.0, GpsFix(0.0, 10.0, 20.0))
+        assert (out.x, out.y) == (11.0, 18.0)
+        assert attack.magnitude == pytest.approx(math.hypot(1, 2))
+
+    def test_drift_ramps(self):
+        attack = GpsDriftAttack(0.0, 0.5, window=AttackWindow(10.0))
+        out = attack.on_gps(14.0, GpsFix(14.0, 0.0, 0.0))
+        assert out.y == pytest.approx(2.0)
+
+    def test_freeze_replays_pre_onset_fix(self):
+        attack = GpsFreezeAttack(window=AttackWindow(5.0))
+        attack.observe_gps(4.0, GpsFix(4.0, 40.0, 1.0))
+        out = attack.on_gps(6.0, GpsFix(6.0, 60.0, 2.0))
+        assert (out.x, out.y) == (40.0, 1.0)
+        assert out.t == 6.0
+
+    def test_freeze_without_history_freezes_first(self):
+        attack = GpsFreezeAttack(window=AttackWindow(0.0))
+        out1 = attack.on_gps(0.0, GpsFix(0.0, 1.0, 1.0))
+        out2 = attack.on_gps(1.0, GpsFix(1.0, 9.0, 9.0))
+        assert (out2.x, out2.y) == (out1.x, out1.y)
+
+    def test_replay_delays(self):
+        attack = GpsReplayAttack(delay=2.0, window=AttackWindow(5.0))
+        for i in range(11):
+            attack.observe_gps(i * 1.0, GpsFix(i * 1.0, i * 10.0, 0.0))
+        out = attack.on_gps(8.0, GpsFix(8.0, 80.0, 0.0))
+        assert out.x == pytest.approx(60.0)
+
+    def test_noise_requires_rng(self):
+        attack = GpsNoiseAttack(extra_std=1.0)
+        with pytest.raises(RuntimeError):
+            attack.on_gps(0.0, GpsFix(0.0, 0.0, 0.0))
+        attack.bind_rng(np.random.default_rng(0))
+        out = attack.on_gps(0.0, GpsFix(0.0, 0.0, 0.0))
+        assert (out.x, out.y) != (0.0, 0.0)
+
+    def test_replay_validation(self):
+        with pytest.raises(ValueError):
+            GpsReplayAttack(delay=0.0)
+
+
+class TestImuOdomCompass:
+    def test_gyro_bias(self):
+        attack = ImuGyroBiasAttack(bias=0.1)
+        out = attack.on_imu(0.0, ImuReading(0.0, 0.2, 1.0))
+        assert out.yaw_rate == pytest.approx(0.3)
+        assert out.accel == 1.0
+
+    def test_accel_bias(self):
+        attack = ImuAccelBiasAttack(bias=0.5)
+        out = attack.on_imu(0.0, ImuReading(0.0, 0.2, 1.0))
+        assert out.accel == pytest.approx(1.5)
+
+    def test_odometry_scale(self):
+        attack = OdometryScaleAttack(scale=0.5)
+        out = attack.on_odometry(0.0, OdometryReading(0.0, 8.0))
+        assert out.speed == pytest.approx(4.0)
+
+    def test_odometry_scale_validation(self):
+        with pytest.raises(ValueError):
+            OdometryScaleAttack(scale=-0.1)
+
+    def test_compass_offset_wraps(self):
+        attack = CompassOffsetAttack(offset=1.0)
+        out = attack.on_compass(0.0, CompassReading(0.0, 3.0))
+        assert -math.pi < out.yaw <= math.pi
+
+
+class TestActuatorAttacks:
+    def test_steer_offset(self):
+        attack = SteeringOffsetAttack(offset=0.05)
+        assert attack.on_command(0.0, 0.1, 1.0) == (pytest.approx(0.15), 1.0)
+
+    def test_stuck_holds_first_value(self):
+        attack = SteeringStuckAttack()
+        attack.on_command(0.0, 0.2, 1.0)
+        out = attack.on_command(1.0, -0.4, 1.0)
+        assert out[0] == pytest.approx(0.2)
+        attack.reset()
+        out = attack.on_command(2.0, -0.4, 1.0)
+        assert out[0] == pytest.approx(-0.4)
+
+
+class TestChannelAttacks:
+    def test_drop_probability(self):
+        attack = CommandDropAttack(drop_prob=0.5)
+        attack.bind_rng(np.random.default_rng(0))
+        dropped = sum(
+            attack.on_command(0.0, 0.1, 0.1) is None for _ in range(1000)
+        )
+        assert 400 < dropped < 600
+
+    def test_drop_requires_rng(self):
+        with pytest.raises(RuntimeError):
+            CommandDropAttack().on_command(0.0, 0.1, 0.1)
+
+    def test_delay_shifts_commands(self):
+        attack = CommandDelayAttack(delay_steps=2)
+        assert attack.on_command(0.0, 1.0, 0.0) == (1.0, 0.0)  # backlog hold
+        assert attack.on_command(0.1, 2.0, 0.0) == (1.0, 0.0)
+        assert attack.on_command(0.2, 3.0, 0.0) == (1.0, 0.0)
+        assert attack.on_command(0.3, 4.0, 0.0) == (2.0, 0.0)
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            CommandDelayAttack(delay_steps=0)
+        with pytest.raises(ValueError):
+            CommandDropAttack(drop_prob=0.0)
+
+
+class TestCampaign:
+    def test_none_campaign(self):
+        c = AttackCampaign.none()
+        assert c.label == "none"
+        assert c.attacks == []
+
+    def test_standard_attack_labels(self):
+        c = standard_attack("gps_bias", intensity=0.5, onset=10.0)
+        assert c.label == "gps_bias"
+        assert len(c.attacks) == 1
+        assert c.attacks[0].window.start == 10.0
+
+    def test_standard_none(self):
+        assert standard_attack("none").attacks == []
+
+    def test_every_class_instantiates(self):
+        for name in ATTACK_CLASSES:
+            attack = make_attack(name, intensity=1.0)
+            assert attack.channel in ("gps", "imu", "odometry", "compass",
+                                      "radar", "command")
+
+    def test_intensity_scales_magnitude(self):
+        weak = make_attack("gps_bias", intensity=0.5)
+        strong = make_attack("gps_bias", intensity=2.0)
+        assert strong.magnitude > weak.magnitude
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError, match="unknown attack class"):
+            make_attack("nope")
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ValueError):
+            make_attack("gps_bias", intensity=0.0)

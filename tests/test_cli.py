@@ -1,0 +1,83 @@
+"""Tests for the adassure CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "s_curve"
+        assert args.attack == "none"
+
+    def test_invalid_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--attack", "nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pure_pursuit" in out
+        assert "A16" in out
+
+    def test_run_nominal(self, capsys):
+        code = main(["run", "--scenario", "straight", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ADAssure check report" in out
+        assert "root-cause ranking" in out
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(["run", "--scenario", "mars"]) == 2
+
+    def test_run_attack_save_and_check(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        code = main([
+            "run", "--scenario", "straight", "--attack", "gps_bias",
+            "--onset", "10", "--save", str(trace_path),
+        ])
+        assert code == 0
+        assert trace_path.exists()
+        capsys.readouterr()
+        assert main(["check", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gps_bias" in out  # diagnosis names the injected cause
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+
+    def test_experiment_e7_quick(self, capsys):
+        # e7 is the cheapest experiment: one simulation + monitor sweeps.
+        assert main(["experiment", "e7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+
+    def test_diff_command(self, tmp_path, capsys):
+        ref = tmp_path / "ref.jsonl"
+        cand = tmp_path / "cand.jsonl"
+        main(["run", "--scenario", "straight", "--save", str(ref)])
+        main(["run", "--scenario", "straight", "--attack", "gps_bias",
+              "--onset", "10", "--save", str(cand)])
+        capsys.readouterr()
+        assert main(["diff", str(ref), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "divergence timeline" in out
+        assert "gps" in out
+
+    def test_calibrate_command(self, tmp_path, capsys):
+        trace = tmp_path / "nominal.jsonl"
+        main(["run", "--scenario", "straight", "--save", str(trace)])
+        spec_path = tmp_path / "spec.json"
+        capsys.readouterr()
+        assert main(["calibrate", str(trace), "--output",
+                     str(spec_path)]) == 0
+        assert spec_path.exists()
+        out = capsys.readouterr().out
+        assert "calibration over 1 nominal trace" in out

@@ -1,0 +1,103 @@
+"""Tests for repro.control.defects."""
+
+import pytest
+
+from repro.control.base import make_lateral_controller
+from repro.control.defects import (
+    DEFECT_CLASSES,
+    DeadbandDefect,
+    DefectiveController,
+    GainErrorDefect,
+    SaturationDefect,
+    SignFlipDefect,
+    StaleInputDefect,
+    make_defect,
+)
+from repro.geom.routes import straight_route
+from repro.geom.vec import Pose, Vec2
+
+
+def decision(controller, y_offset=2.0):
+    controller.reset()
+    return controller.compute_steer(
+        Pose(Vec2(20.0, y_offset), 0.0), 8.0, straight_route(200.0), 0.05
+    )
+
+
+class TestDefectTransforms:
+    def test_gain_error(self):
+        clean = decision(make_lateral_controller("pure_pursuit"))
+        bugged = decision(DefectiveController(
+            make_lateral_controller("pure_pursuit"), GainErrorDefect(2.0)))
+        assert bugged.steer == pytest.approx(2.0 * clean.steer)
+
+    def test_sign_flip(self):
+        clean = decision(make_lateral_controller("pure_pursuit"))
+        bugged = decision(DefectiveController(
+            make_lateral_controller("pure_pursuit"), SignFlipDefect()))
+        assert bugged.steer == pytest.approx(-clean.steer)
+
+    def test_deadband_truncates(self):
+        bugged = DefectiveController(
+            make_lateral_controller("pure_pursuit"), DeadbandDefect(0.5))
+        assert decision(bugged, y_offset=0.2).steer == 0.0
+
+    def test_saturation_clamps(self):
+        bugged = DefectiveController(
+            make_lateral_controller("pure_pursuit"), SaturationDefect(0.01))
+        assert abs(decision(bugged, y_offset=5.0).steer) == pytest.approx(0.01)
+
+    def test_stale_input_uses_old_pose(self):
+        defect = StaleInputDefect(delay_steps=2)
+        controller = DefectiveController(
+            make_lateral_controller("pure_pursuit"), defect)
+        controller.reset()
+        route = straight_route(200.0)
+        first = controller.compute_steer(Pose(Vec2(0, 3.0), 0.0), 8.0, route, 0.05)
+        # Later calls from an on-path pose still see the old offset pose.
+        controller.compute_steer(Pose(Vec2(5, 0.0), 0.0), 8.0, route, 0.05)
+        third = controller.compute_steer(Pose(Vec2(10, 0.0), 0.0), 8.0, route, 0.05)
+        assert third.steer == pytest.approx(first.steer, abs=0.05)
+
+    def test_reset_clears_stale_history(self):
+        defect = StaleInputDefect(delay_steps=2)
+        defect.transform_input(Pose(Vec2(0, 9.0), 0.0), 8.0)
+        defect.reset()
+        pose, __ = defect.transform_input(Pose(Vec2(0, 0.0), 0.0), 8.0)
+        assert pose.y == 0.0
+
+    def test_error_fields_untouched(self):
+        # The defect corrupts the command, not the controller's reported
+        # error view (the trace must show what the controller *saw*).
+        clean = decision(make_lateral_controller("pure_pursuit"))
+        bugged = decision(DefectiveController(
+            make_lateral_controller("pure_pursuit"), SignFlipDefect()))
+        assert bugged.cte == pytest.approx(clean.cte)
+
+    def test_name_combines(self):
+        bugged = DefectiveController(
+            make_lateral_controller("stanley"), SignFlipDefect())
+        assert bugged.name == "stanley+ctrl_sign_flip"
+
+
+class TestDefectRegistry:
+    def test_all_instantiable(self):
+        for name in DEFECT_CLASSES:
+            assert make_defect(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_defect("ctrl_nope")
+
+    def test_kwargs_forwarded(self):
+        assert make_defect("ctrl_gain_error", factor=5.0).factor == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GainErrorDefect(0.0)
+        with pytest.raises(ValueError):
+            StaleInputDefect(0)
+        with pytest.raises(ValueError):
+            DeadbandDefect(0.0)
+        with pytest.raises(ValueError):
+            SaturationDefect(-1.0)

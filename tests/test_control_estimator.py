@@ -1,0 +1,129 @@
+"""Tests for repro.control.estimator: the EKF."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.control.estimator import Ekf, EkfConfig
+
+
+class TestEkfConfig:
+    def test_defaults_valid(self):
+        EkfConfig()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EkfConfig(sigma_gps=0.0)
+        with pytest.raises(ValueError):
+            EkfConfig(q_v=-1.0)
+
+
+class TestEkfBasics:
+    def test_reset_sets_state(self):
+        ekf = Ekf()
+        ekf.reset(1.0, 2.0, 0.5, 3.0)
+        est = ekf.estimate
+        assert (est.x, est.y, est.yaw, est.v) == (1.0, 2.0, 0.5, 3.0)
+
+    def test_predict_propagates(self):
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 10.0)
+        ekf.predict(yaw_rate=0.0, accel=0.0, dt=0.1)
+        assert ekf.estimate.x == pytest.approx(1.0)
+
+    def test_predict_grows_uncertainty(self):
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 5.0)
+        before = ekf.estimate.cov_trace
+        for _ in range(10):
+            ekf.predict(0.0, 0.0, 0.1)
+        assert ekf.estimate.cov_trace > before
+
+    def test_update_shrinks_uncertainty(self):
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 5.0)
+        for _ in range(5):
+            ekf.predict(0.0, 0.0, 0.1)
+        before = ekf.estimate.cov_trace
+        ekf.update_gps(0.5 * 5, 0.0)
+        assert ekf.estimate.cov_trace < before
+
+    def test_predict_rejects_bad_dt(self):
+        ekf = Ekf()
+        with pytest.raises(ValueError):
+            ekf.predict(0.0, 0.0, 0.0)
+
+    def test_speed_never_negative(self):
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 0.1)
+        ekf.predict(0.0, -5.0, 1.0)
+        assert ekf.estimate.v >= 0.0
+
+
+class TestEkfConvergence:
+    def test_converges_on_noisy_straight_drive(self):
+        rng = np.random.default_rng(0)
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 0.0)
+        dt = 0.05
+        x = 0.0
+        v = 8.0
+        errors = []
+        for step in range(400):
+            t = step * dt
+            x += v * dt
+            ekf.predict(yaw_rate=rng.normal(0, 0.004),
+                        accel=rng.normal(0, 0.06), dt=dt)
+            if step % 2 == 0:
+                ekf.update_gps(x + rng.normal(0, 0.35),
+                               rng.normal(0, 0.35))
+                ekf.update_compass(rng.normal(0, 0.01))
+            ekf.update_speed(v + rng.normal(0, 0.05))
+            if t > 5.0:
+                est = ekf.estimate
+                errors.append(math.hypot(est.x - x, est.y))
+        assert float(np.mean(errors)) < 0.5
+
+    def test_heading_wrap_handled(self):
+        # Estimate near +pi, measurement near -pi: innovation must wrap.
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, math.pi - 0.02, 5.0)
+        ekf.update_compass(-math.pi + 0.02)
+        est = ekf.estimate
+        # The fused yaw stays near the +/-pi seam, not near zero.
+        assert abs(est.yaw) > 3.0
+
+    def test_nis_spikes_on_inconsistent_gps(self):
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 8.0)
+        for _ in range(20):
+            ekf.predict(0.0, 0.0, 0.05)
+            ekf.update_gps(ekf.estimate.x, 0.0)
+        calm = ekf.estimate.nis_gps
+        nis = ekf.update_gps(ekf.estimate.x + 5.0, 5.0)
+        assert nis > 20 * max(calm, 0.05)
+
+    def test_nis_reported_per_channel(self):
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 5.0)
+        ekf.predict(0.0, 0.0, 0.05)
+        ekf.update_speed(5.0)
+        est = ekf.estimate
+        assert est.nis_speed >= 0.0
+        assert est.nis_gps == 0.0  # gps never updated yet
+
+
+class TestJosephForm:
+    def test_covariance_stays_symmetric_positive(self):
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 5.0)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            ekf.predict(rng.normal(0, 0.01), rng.normal(0, 0.1), 0.05)
+            ekf.update_gps(rng.normal(0, 1), rng.normal(0, 1))
+            ekf.update_speed(max(rng.normal(5, 0.1), 0))
+            ekf.update_compass(rng.normal(0, 0.05))
+        p = ekf.covariance
+        assert np.allclose(p, p.T, atol=1e-10)
+        assert np.all(np.linalg.eigvalsh(p) > 0)

@@ -1,0 +1,92 @@
+"""Tests for repro.control.follower: speed profile and the combined agent."""
+
+import pytest
+
+from repro.control.base import make_lateral_controller
+from repro.control.estimator import Estimate
+from repro.control.follower import SpeedProfile, WaypointFollower
+from repro.geom.routes import arc_route, straight_route, urban_loop_route
+
+
+def estimate(x=0.0, y=0.0, yaw=0.0, v=8.0):
+    return Estimate(x=x, y=y, yaw=yaw, v=v, cov_trace=0.1,
+                    nis_gps=1.0, nis_speed=1.0, nis_compass=1.0)
+
+
+class TestSpeedProfile:
+    def test_cruise_on_straight(self):
+        profile = SpeedProfile(cruise_speed=10.0)
+        route = straight_route(500.0)
+        assert profile.target_speed(route, 100.0) == pytest.approx(10.0)
+
+    def test_slows_for_curvature(self):
+        profile = SpeedProfile(cruise_speed=15.0, lat_accel_budget=2.0)
+        route = arc_route(radius=20.0, lead_in=10.0)
+        v_in_curve = profile.target_speed(route, 30.0)
+        expected = (2.0 * 20.0) ** 0.5  # sqrt(a_lat * R)
+        assert v_in_curve == pytest.approx(expected, rel=0.15)
+
+    def test_slows_before_goal(self):
+        profile = SpeedProfile(cruise_speed=10.0, brake_decel=2.0)
+        route = straight_route(100.0)
+        near_goal = profile.target_speed(route, 96.0)
+        assert near_goal == pytest.approx((2 * 2.0 * 4.0) ** 0.5, rel=0.05)
+        assert profile.target_speed(route, 100.0) == 0.0
+
+    def test_closed_route_never_stops(self):
+        profile = SpeedProfile(cruise_speed=8.0)
+        route = urban_loop_route()
+        assert profile.target_speed(route, route.length - 1.0) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedProfile(cruise_speed=0.0)
+        with pytest.raises(ValueError):
+            SpeedProfile(brake_decel=0.0)
+
+
+class TestWaypointFollower:
+    def make(self, cruise=10.0):
+        return WaypointFollower(
+            make_lateral_controller("pure_pursuit"),
+            profile=SpeedProfile(cruise_speed=cruise),
+        )
+
+    def test_decision_fields(self):
+        follower = self.make()
+        follower.reset()
+        route = straight_route(300.0)
+        d = follower.decide(estimate(x=50.0, y=1.0), route, 0.05)
+        assert d.target_speed == pytest.approx(10.0)
+        assert d.cte == pytest.approx(1.0, abs=0.05)
+        assert d.steer_cmd < 0.0  # corrects right
+
+    def test_accelerates_when_slow(self):
+        follower = self.make()
+        follower.reset()
+        d = follower.decide(estimate(v=2.0), straight_route(300.0), 0.05)
+        assert d.accel_cmd > 0.0
+
+    def test_goal_latch_engages_and_holds(self):
+        follower = self.make()
+        follower.reset()
+        route = straight_route(100.0)
+        d = follower.decide(estimate(x=98.5, v=1.0), route, 0.05)
+        assert d.steer_cmd == 0.0
+        assert d.accel_cmd < 0.0
+        assert d.target_speed == 0.0
+        # Latched even if the estimate wanders afterwards.
+        d2 = follower.decide(estimate(x=60.0, v=5.0), route, 0.05)
+        assert d2.steer_cmd == 0.0
+
+    def test_reset_clears_latch(self):
+        follower = self.make()
+        follower.reset()
+        route = straight_route(100.0)
+        follower.decide(estimate(x=98.5, v=1.0), route, 0.05)
+        follower.reset()
+        d = follower.decide(estimate(x=50.0, v=8.0), route, 0.05)
+        assert d.target_speed > 0.0
+
+    def test_name_comes_from_lateral(self):
+        assert self.make().name == "pure_pursuit"

@@ -1,0 +1,185 @@
+"""Tests for the four lateral controllers.
+
+Each controller is exercised in a small perfect-information loop (true
+state fed back as the estimate) — convergence there isolates the control
+law from estimator effects, which the closed-loop engine tests cover.
+"""
+
+import math
+
+import pytest
+
+from repro.control.base import make_lateral_controller
+from repro.control.lqr import LqrController
+from repro.control.mpc import MpcController
+from repro.control.pure_pursuit import PurePursuitController
+from repro.control.stanley import StanleyController
+from repro.geom.routes import arc_route, straight_route
+from repro.geom.vec import Pose, Vec2
+from repro.sim.dynamics import KinematicBicycleModel, VehicleParams, VehicleState
+
+CONTROLLERS = ["pure_pursuit", "stanley", "lqr", "mpc"]
+
+
+def track(controller, route, initial_offset=2.0, speed=8.0, steps=600,
+          dt=0.05):
+    """Perfect-estimate tracking loop; returns |cte| history.
+
+    Stops a few meters before the route end: the open-route terminal
+    behaviour (braking, goal latch) belongs to the follower, not to the
+    lateral law under test here.
+    """
+    max_steps = int((route.length - 10.0) / (speed * dt))
+    steps = min(steps, max_steps)
+    model = KinematicBicycleModel(VehicleParams(drag_coeff=0.0))
+    start, heading = route.start_pose()
+    left = Vec2(-math.sin(heading), math.cos(heading))
+    state = VehicleState(x=start.x + left.x * initial_offset,
+                         y=start.y + left.y * initial_offset,
+                         yaw=heading, v=speed)
+    controller.reset()
+    ctes = []
+    for _ in range(steps):
+        pose = Pose(Vec2(state.x, state.y), state.yaw)
+        decision = controller.compute_steer(pose, state.v, route, dt)
+        state = model.step(state, decision.steer, 0.0, dt)
+        proj = route.project(Vec2(state.x, state.y))
+        ctes.append(abs(proj.cross_track))
+    return ctes
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", CONTROLLERS)
+    def test_creates_each(self, name):
+        controller = make_lateral_controller(name)
+        assert controller.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown lateral controller"):
+            make_lateral_controller("nope")
+
+    def test_kwargs_forwarded(self):
+        c = make_lateral_controller("pure_pursuit", lookahead_gain=1.5)
+        assert c.lookahead_gain == 1.5
+
+
+@pytest.mark.parametrize("name", CONTROLLERS)
+class TestConvergence:
+    def test_converges_on_straight(self, name):
+        route = straight_route(400.0)
+        ctes = track(make_lateral_controller(name), route)
+        # Starts offset, ends converged.
+        assert ctes[0] > 1.5
+        assert max(ctes[-100:]) < 0.3
+
+    def test_no_divergence_on_arc(self, name):
+        route = arc_route(radius=40.0, lead_in=40.0, sweep=math.pi)
+        ctes = track(make_lateral_controller(name), route,
+                     initial_offset=0.0, steps=500)
+        assert max(ctes) < 1.0
+
+    def test_steer_decision_fields(self, name):
+        route = straight_route(100.0)
+        controller = make_lateral_controller(name)
+        controller.reset()
+        decision = controller.compute_steer(
+            Pose(Vec2(10.0, 2.0), 0.0), 8.0, route, 0.05
+        )
+        assert decision.cte == pytest.approx(2.0, abs=0.05)
+        assert abs(decision.steer) <= 0.61 + 1e-9
+        assert decision.station == pytest.approx(10.0, abs=1.0)
+
+    def test_corrects_toward_path(self, name):
+        # Vehicle left of path -> steer right (negative).
+        route = straight_route(100.0)
+        controller = make_lateral_controller(name)
+        controller.reset()
+        decision = controller.compute_steer(
+            Pose(Vec2(10.0, 3.0), 0.0), 8.0, route, 0.05
+        )
+        assert decision.steer < 0.0
+
+
+class TestPurePursuit:
+    def test_lookahead_scales_with_speed(self):
+        c = PurePursuitController(lookahead_gain=1.0, min_lookahead=2.0,
+                                  max_lookahead=50.0)
+        route = straight_route(200.0)
+        c.reset()
+        slow = c.compute_steer(Pose(Vec2(0, 3), 0.0), 3.0, route, 0.05)
+        c.reset()
+        fast = c.compute_steer(Pose(Vec2(0, 3), 0.0), 15.0, route, 0.05)
+        # Faster -> longer lookahead -> gentler correction.
+        assert abs(fast.steer) < abs(slow.steer)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PurePursuitController(lookahead_gain=0.0)
+        with pytest.raises(ValueError):
+            PurePursuitController(min_lookahead=10.0, max_lookahead=5.0)
+
+
+class TestStanley:
+    def test_cross_track_term_sharper_at_low_speed(self):
+        c = StanleyController(k_damp=0.0)
+        route = straight_route(200.0)
+        c.reset()
+        slow = c.compute_steer(Pose(Vec2(50, 1.0), 0.0), 2.0, route, 0.05)
+        c.reset()
+        fast = c.compute_steer(Pose(Vec2(50, 1.0), 0.0), 15.0, route, 0.05)
+        assert abs(slow.steer) > abs(fast.steer)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StanleyController(k_cte=0.0)
+        with pytest.raises(ValueError):
+            StanleyController(k_damp=1.0)
+
+
+class TestLqr:
+    def test_gain_cache_reused(self):
+        c = LqrController()
+        route = straight_route(200.0)
+        c.reset()
+        c.compute_steer(Pose(Vec2(0, 1), 0.0), 8.0, route, 0.05)
+        n = len(c._gain_cache)
+        c.compute_steer(Pose(Vec2(1, 1), 0.0), 8.05, route, 0.05)
+        assert len(c._gain_cache) == n  # quantized speed hits the cache
+
+    def test_feedforward_on_arc(self):
+        c = LqrController()
+        route = arc_route(radius=30.0, lead_in=5.0)
+        c.reset()
+        # On-path, on-heading sample inside the arc: feedforward steers left.
+        sample = route.sample(40.0)
+        decision = c.compute_steer(Pose(sample.point, sample.heading), 8.0,
+                                   route, 0.05)
+        assert decision.steer > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LqrController(q_cte=0.0)
+
+
+class TestMpc:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MpcController(horizon=1)
+        with pytest.raises(ValueError):
+            MpcController(r_steer=0.0)
+
+    def test_respects_steer_bounds(self):
+        c = MpcController(max_steer=0.3)
+        route = straight_route(100.0)
+        c.reset()
+        decision = c.compute_steer(Pose(Vec2(0, 8.0), 0.5), 10.0, route, 0.05)
+        assert abs(decision.steer) <= 0.3 + 1e-9
+
+    def test_warm_start_reuses_solution(self):
+        c = MpcController()
+        route = straight_route(100.0)
+        c.reset()
+        c.compute_steer(Pose(Vec2(0, 1), 0.0), 8.0, route, 0.05)
+        assert c._prev_solution is not None
+        c.reset()
+        assert c._prev_solution is None

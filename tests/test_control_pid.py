@@ -1,0 +1,67 @@
+"""Tests for repro.control.pid."""
+
+import pytest
+
+from repro.control.pid import PidSpeedController
+
+
+def simulate(pid, target, steps=600, dt=0.05, drag=0.0):
+    """Tiny longitudinal plant: v' = a - drag*v."""
+    v = 0.0
+    history = []
+    for _ in range(steps):
+        a = pid.compute_accel(v, target, dt)
+        v = max(v + (a - drag * v) * dt, 0.0)
+        history.append(v)
+    return history
+
+
+class TestPid:
+    def test_converges_to_target(self):
+        pid = PidSpeedController()
+        v = simulate(pid, target=10.0)
+        assert v[-1] == pytest.approx(10.0, abs=0.2)
+
+    def test_no_large_overshoot(self):
+        pid = PidSpeedController()
+        v = simulate(pid, target=10.0)
+        assert max(v) < 11.0
+
+    def test_integral_removes_drag_offset(self):
+        pid = PidSpeedController()
+        v = simulate(pid, target=10.0, steps=2000, drag=0.05)
+        assert v[-1] == pytest.approx(10.0, abs=0.2)
+
+    def test_output_saturated(self):
+        pid = PidSpeedController(accel_max=3.0, brake_max=6.0)
+        assert pid.compute_accel(0.0, 100.0, 0.05) == 3.0
+        pid.reset()
+        assert pid.compute_accel(100.0, 0.0, 0.05) == -6.0
+
+    def test_anti_windup_limits_integral(self):
+        pid = PidSpeedController(integral_limit=4.0)
+        for _ in range(1000):
+            pid.compute_accel(0.0, 100.0, 0.05)
+        assert abs(pid._integral) <= 4.0
+
+    def test_reset(self):
+        pid = PidSpeedController()
+        pid.compute_accel(0.0, 10.0, 0.05)
+        pid.reset()
+        assert pid._integral == 0.0
+        assert pid._prev_error is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PidSpeedController(kp=-1.0)
+        with pytest.raises(ValueError):
+            PidSpeedController(accel_max=0.0)
+        with pytest.raises(ValueError):
+            PidSpeedController().compute_accel(0.0, 1.0, 0.0)
+
+    def test_derivative_damps(self):
+        aggressive = PidSpeedController(kp=3.0, ki=0.0, kd=0.0)
+        damped = PidSpeedController(kp=3.0, ki=0.0, kd=0.4)
+        overshoot_a = max(simulate(aggressive, 10.0)) - 10.0
+        overshoot_d = max(simulate(damped, 10.0)) - 10.0
+        assert overshoot_d <= overshoot_a + 1e-9

@@ -1,0 +1,278 @@
+"""Tests for the assertion catalog: each assertion's targeted behaviour.
+
+Every assertion gets at least one "holds on healthy trace" test and one
+"fires on its target signature" test built from synthetic records, which
+pins down the catalog semantics independent of the simulator.
+"""
+
+import math
+
+import pytest
+
+from repro.core.catalog import CATALOG_IDS, CATALOG_STAGES, default_catalog, make_assertion
+from repro.core.checker import check_trace
+from repro.trace.schema import TraceMeta
+
+from conftest import make_record, make_trace
+
+DT = 0.05
+
+
+def check_single(assertion_id, trace):
+    report = check_trace(trace, [make_assertion(assertion_id)])
+    return report.summaries[assertion_id]
+
+
+class TestCatalogFactory:
+    def test_all_ids_unique_and_buildable(self):
+        catalog = default_catalog()
+        ids = [a.assertion_id for a in catalog]
+        assert len(set(ids)) == len(ids) == len(CATALOG_IDS)
+
+    def test_subset_selection(self):
+        subset = default_catalog(("A1", "A5"))
+        assert [a.assertion_id for a in subset] == ["A1", "A5"]
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError):
+            make_assertion("A99")
+
+    def test_stages_cover_catalog_exactly(self):
+        staged = [aid for ids in CATALOG_STAGES.values() for aid in ids]
+        assert sorted(staged) == sorted(CATALOG_IDS)
+
+    def test_fresh_instances(self):
+        assert make_assertion("A1") is not make_assertion("A1")
+
+
+class TestHealthyTraceIsClean:
+    def test_no_assertion_fires_on_synthetic_cruise(self):
+        trace = make_trace(600)  # 30 s healthy cruise
+        report = check_trace(trace, default_catalog())
+        assert report.fired_ids == []
+
+
+class TestA1CrossTrack:
+    def test_fires_on_lane_departure(self):
+        def mutate(step, record):
+            return record.replace(cte_true=4.0 if step > 300 else 0.0)
+
+        summary = check_single("A1", make_trace(500, mutate=mutate))
+        assert summary.fired
+
+    def test_holds_below_bound(self):
+        def mutate(step, record):
+            return record.replace(cte_true=1.5)
+
+        assert not check_single("A1", make_trace(400, mutate=mutate)).fired
+
+
+class TestA3Convergence:
+    def test_sustained_offset_fires(self):
+        def mutate(step, record):
+            return record.replace(cte_true=1.6)
+
+        assert check_single("A3", make_trace(600, mutate=mutate)).fired
+
+    def test_brief_spike_tolerated(self):
+        def mutate(step, record):
+            return record.replace(cte_true=2.0 if 300 <= step < 310 else 0.2)
+
+        assert not check_single("A3", make_trace(600, mutate=mutate)).fired
+
+
+class TestA4DeadReckoning:
+    def test_gps_jump_fires(self):
+        def mutate(step, record):
+            if step > 400:
+                return record.replace(gps_y=record.gps_y + 5.0)
+            return record
+
+        assert check_single("A4", make_trace(700, mutate=mutate)).fired
+
+    def test_consistent_channels_hold(self):
+        assert not check_single("A4", make_trace(700)).fired
+
+    def test_stationary_vehicle_not_applicable(self):
+        # Stopped vehicle: GPS walk must not fire the assertion.
+        def mutate(step, record):
+            return record.replace(
+                odom_speed=0.0, true_v=0.0,
+                gps_x=0.02 * step, gps_y=0.0,  # slow receiver walk
+                true_x=0.0, station_true=0.0, station_est=0.0,
+                target_speed=0.0,
+            )
+
+        assert not check_single("A4", make_trace(400, mutate=mutate)).fired
+
+
+class TestA5Jump:
+    def test_position_jump_fires(self):
+        def mutate(step, record):
+            if step == 300:
+                return record.replace(gps_x=record.gps_x + 8.0)
+            return record
+
+        assert check_single("A5", make_trace(400, mutate=mutate)).fired
+
+    def test_motion_consistent_fixes_hold(self):
+        assert not check_single("A5", make_trace(400)).fired
+
+
+class TestA6Freeze:
+    def test_frozen_gps_fires(self):
+        def mutate(step, record):
+            if step > 200:
+                return record.replace(gps_x=200 * 0.05 * 8.0, gps_y=0.0)
+            return record
+
+        assert check_single("A6", make_trace(500, mutate=mutate)).fired
+
+    def test_moving_gps_holds(self):
+        assert not check_single("A6", make_trace(500)).fired
+
+
+class TestA7SpeedConsistency:
+    def test_scaled_odometry_fires(self):
+        def mutate(step, record):
+            return record.replace(odom_speed=4.0)  # GPS implies 8 m/s
+
+        assert check_single("A7", make_trace(400, mutate=mutate)).fired
+
+    def test_consistent_speeds_hold(self):
+        assert not check_single("A7", make_trace(400)).fired
+
+
+class TestA8ImuCompass:
+    def test_gyro_bias_fires(self):
+        def mutate(step, record):
+            return record.replace(imu_yaw_rate=0.08)  # compass says straight
+
+        assert check_single("A8", make_trace(400, mutate=mutate)).fired
+
+    def test_consistent_turn_holds(self):
+        # Turning: gyro rate and compass heading agree.
+        def mutate(step, record):
+            yaw = 0.1 * step * DT
+            return record.replace(
+                imu_yaw_rate=0.1,
+                compass_yaw=math.remainder(yaw, 2 * math.pi),
+                true_yaw=math.remainder(yaw, 2 * math.pi),
+            )
+
+        assert not check_single("A8", make_trace(400, mutate=mutate)).fired
+
+
+class TestA9Innovations:
+    @pytest.mark.parametrize("aid,channel", [
+        ("A9G", "nis_gps"), ("A9S", "nis_speed"), ("A9C", "nis_compass"),
+    ])
+    def test_sustained_high_nis_fires(self, aid, channel):
+        def mutate(step, record):
+            if step > 200:
+                return record.replace(**{channel: 40.0})
+            return record
+
+        assert check_single(aid, make_trace(400, mutate=mutate)).fired
+
+    def test_nominal_nis_holds(self):
+        for aid in ("A9G", "A9S", "A9C"):
+            assert not check_single(aid, make_trace(400)).fired
+
+
+class TestA10Progress:
+    def test_stalled_station_fires(self):
+        def mutate(step, record):
+            if step > 300:
+                return record.replace(station_est=300 * DT * 8.0)
+            return record
+
+        assert check_single("A10", make_trace(600, mutate=mutate)).fired
+
+    def test_wrapping_station_tolerated(self):
+        # Closed-route wrap: station drops to ~0 once; must not fire.
+        def mutate(step, record):
+            wrapped = (step * DT * 8.0) % 120.0
+            return record.replace(station_est=wrapped)
+
+        assert not check_single("A10", make_trace(600, mutate=mutate)).fired
+
+
+class TestA11Oscillation:
+    def test_limit_cycle_fires(self):
+        def mutate(step, record):
+            phase = step % 16
+            steer = 0.3 if phase < 8 else -0.3  # 1.25 Hz square wave
+            return record.replace(steer_cmd=steer)
+
+        assert check_single("A11", make_trace(600, mutate=mutate)).fired
+
+    def test_small_dither_tolerated(self):
+        def mutate(step, record):
+            return record.replace(steer_cmd=0.05 if step % 2 else -0.05)
+
+        assert not check_single("A11", make_trace(600, mutate=mutate)).fired
+
+
+class TestA12LateralAccel:
+    def test_excessive_lat_accel_fires(self):
+        def mutate(step, record):
+            return record.replace(est_v=15.0, imu_yaw_rate=0.5)  # 7.5 m/s^2
+
+        assert check_single("A12", make_trace(400, mutate=mutate)).fired
+
+
+class TestA13Saturation:
+    def test_persistent_saturation_fires(self):
+        def mutate(step, record):
+            return record.replace(steer_cmd=0.61 if step > 200 else 0.0)
+
+        assert check_single("A13", make_trace(500, mutate=mutate)).fired
+
+
+class TestA14SpeedTracking:
+    def test_sustained_error_fires(self):
+        def mutate(step, record):
+            return record.replace(est_v=4.0, target_speed=8.0)
+
+        assert check_single("A14", make_trace(500, mutate=mutate)).fired
+
+    def test_stopping_phase_not_applicable(self):
+        def mutate(step, record):
+            return record.replace(est_v=4.0, target_speed=0.0)
+
+        assert not check_single("A14", make_trace(500, mutate=mutate)).fired
+
+
+class TestA15Goal:
+    def test_goal_missed_fires(self):
+        def mutate(step, record):
+            return record.replace(dist_to_goal=80.0)
+
+        assert check_single("A15", make_trace(400, mutate=mutate)).fired
+
+    def test_goal_reached_holds(self):
+        def mutate(step, record):
+            return record.replace(dist_to_goal=max(100.0 - step, 0.0))
+
+        assert not check_single("A15", make_trace(400, mutate=mutate)).fired
+
+    def test_closed_route_not_applicable(self):
+        def mutate(step, record):
+            return record.replace(dist_to_goal=-1.0)
+
+        assert not check_single("A15", make_trace(400, mutate=mutate)).fired
+
+
+class TestA16Actuation:
+    def test_matching_actuator_holds(self):
+        # steer_cmd == steer_applied == 0 on the healthy trace.
+        assert not check_single("A16", make_trace(400)).fired
+
+    def test_offset_fires(self):
+        def mutate(step, record):
+            if step > 200:
+                return record.replace(steer_applied=record.steer_cmd + 0.08)
+            return record
+
+        assert check_single("A16", make_trace(400, mutate=mutate)).fired

@@ -1,0 +1,149 @@
+"""Tests for repro.core.diagnosis."""
+
+import math
+
+import pytest
+
+from repro.core.diagnosis import diagnose
+from repro.core.knowledge import CauseProfile, KnowledgeBase
+from repro.core.verdicts import AssertionSummary, CheckReport
+
+
+def report_with_evidence(strengths: dict[str, float]) -> CheckReport:
+    summaries = {}
+    for aid in ("A1", "A2", "A3", "A4"):
+        s = strengths.get(aid, 0.0)
+        summaries[aid] = AssertionSummary(
+            assertion_id=aid, name=aid, category="behaviour",
+            fired=s > 0, episodes=1 if s > 0 else 0,
+            first_violation_t=10.0 if s > 0 else None,
+            total_violation_time=2.0 * s,
+            # Invert the strength formula approximately via worst margin.
+            worst_margin=-s if s > 0 else 0.5,
+        )
+    return CheckReport(scenario="s", controller="c", attack_label="?",
+                       duration=60.0, summaries=summaries)
+
+
+def toy_kb() -> KnowledgeBase:
+    return KnowledgeBase([
+        CauseProfile("none", "nominal", {}),
+        CauseProfile("fault_a", "fires A1+A2", {"A1": 0.9, "A2": 0.9}),
+        CauseProfile("fault_b", "fires A3", {"A3": 0.9}),
+        CauseProfile("fault_c", "fires A1 only", {"A1": 0.9}),
+    ])
+
+
+class TestDiagnose:
+    def test_matching_signature_wins(self):
+        result = diagnose(report_with_evidence({"A1": 0.9, "A2": 0.9}),
+                          toy_kb())
+        assert result.top().cause == "fault_a"
+
+    def test_single_assertion_prefers_narrow_profile(self):
+        # Only A1 fired: fault_c (predicts exactly A1) must beat fault_a
+        # (whose silent A2 is evidence against it).
+        result = diagnose(report_with_evidence({"A1": 0.9}), toy_kb())
+        assert result.top().cause == "fault_c"
+        # fault_a is penalized for its silent A2, fault_b for its silent A3.
+        assert result.rank_of("fault_a") < result.rank_of("fault_b")
+
+    def test_no_evidence_means_nominal(self):
+        result = diagnose(report_with_evidence({}), toy_kb())
+        assert result.top().cause == "none"
+
+    def test_posteriors_sum_to_one(self):
+        result = diagnose(report_with_evidence({"A3": 0.8}), toy_kb())
+        total = sum(d.posterior for d in result.ranking)
+        assert total == pytest.approx(1.0)
+
+    def test_ranking_sorted_by_likelihood(self):
+        result = diagnose(report_with_evidence({"A1": 0.9}), toy_kb())
+        lls = [d.log_likelihood for d in result.ranking]
+        assert lls == sorted(lls, reverse=True)
+
+    def test_supporting_and_contradicting_fields(self):
+        result = diagnose(report_with_evidence({"A1": 0.9}), toy_kb())
+        fault_a = next(d for d in result.ranking if d.cause == "fault_a")
+        assert "A1" in fault_a.supporting
+        assert "A2" in fault_a.contradicting
+
+    def test_rank_of_and_top_k(self):
+        result = diagnose(report_with_evidence({"A3": 0.9}), toy_kb())
+        assert result.rank_of("fault_b") == 1
+        assert result.rank_of("unknown") is None
+        assert len(result.top_k(2)) == 2
+
+    def test_confident_flag(self):
+        strong = diagnose(report_with_evidence({"A1": 0.9, "A2": 0.9}),
+                          toy_kb())
+        assert strong.confident
+
+    def test_weak_evidence_discounted(self):
+        # A barely-fired A3 must not overturn a clean A1+A2 signature.
+        result = diagnose(
+            report_with_evidence({"A1": 0.9, "A2": 0.9, "A3": 0.13}),
+            toy_kb(),
+        )
+        assert result.top().cause == "fault_a"
+
+    def test_default_kb_used_when_none(self):
+        report = report_with_evidence({})
+        result = diagnose(report)
+        assert result.top().cause == "none"
+
+    def test_log_likelihoods_finite(self):
+        result = diagnose(report_with_evidence({"A1": 1.0, "A2": 1.0,
+                                                "A3": 1.0, "A4": 1.0}),
+                          toy_kb())
+        assert all(math.isfinite(d.log_likelihood) for d in result.ranking)
+
+
+class TestDiagnoseMulti:
+    def test_single_cause_matches_single_ranking(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        report = report_with_evidence({"A1": 0.9, "A2": 0.9})
+        multi = diagnose_multi(report, toy_kb())
+        assert multi.cause_set == {"fault_a"}
+        assert multi.fully_explained
+
+    def test_two_disjoint_causes_recovered(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        # fault_a explains A1+A2; fault_b explains A3: all three fired.
+        report = report_with_evidence({"A1": 0.9, "A2": 0.9, "A3": 0.9})
+        multi = diagnose_multi(report, toy_kb())
+        assert multi.cause_set == {"fault_a", "fault_b"}
+        assert multi.fully_explained
+        assert len(multi.rounds) >= 2
+
+    def test_nominal_returns_empty_set(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        multi = diagnose_multi(report_with_evidence({}), toy_kb())
+        assert multi.cause_set == frozenset()
+        assert multi.fully_explained
+
+    def test_max_causes_respected(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        report = report_with_evidence({"A1": 0.9, "A2": 0.9, "A3": 0.9})
+        multi = diagnose_multi(report, toy_kb(), max_causes=1)
+        assert len(multi.causes) == 1
+        assert not multi.fully_explained  # A3 remains unexplained
+
+    def test_invalid_max_causes(self):
+        import pytest as _pytest
+
+        from repro.core.diagnosis import diagnose_multi
+
+        with _pytest.raises(ValueError):
+            diagnose_multi(report_with_evidence({}), toy_kb(), max_causes=0)
+
+    def test_explanation_order_strongest_first(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        report = report_with_evidence({"A1": 0.9, "A2": 0.9, "A3": 0.4})
+        multi = diagnose_multi(report, toy_kb())
+        assert multi.causes[0].cause == "fault_a"

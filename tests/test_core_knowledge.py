@@ -1,0 +1,83 @@
+"""Tests for repro.core.knowledge."""
+
+import pytest
+
+from repro.core.catalog import CATALOG_IDS
+from repro.core.knowledge import (
+    FALSE_POSITIVE_RATE,
+    CauseProfile,
+    KnowledgeBase,
+    default_knowledge_base,
+)
+
+
+class TestCauseProfile:
+    def test_prob_floor(self):
+        p = CauseProfile(cause="x", description="", fire_probs={"A1": 0.9})
+        assert p.prob("A1") == 0.9
+        assert p.prob("A2") == FALSE_POSITIVE_RATE
+
+
+class TestKnowledgeBase:
+    def test_duplicate_causes_rejected(self):
+        p = CauseProfile(cause="x", description="")
+        with pytest.raises(ValueError):
+            KnowledgeBase([p, p])
+
+    def test_profile_lookup(self):
+        kb = default_knowledge_base()
+        assert kb.profile("gps_bias").cause == "gps_bias"
+        with pytest.raises(KeyError):
+            kb.profile("nope")
+
+    def test_add_extends(self):
+        kb = default_knowledge_base()
+        kb.add(CauseProfile(cause="new_fault", description="",
+                            fire_probs={"A1": 0.5}))
+        assert "new_fault" in kb.causes
+        with pytest.raises(ValueError):
+            kb.add(CauseProfile(cause="new_fault", description=""))
+
+    def test_restricted_drops_unknown_assertions(self):
+        kb = default_knowledge_base()
+        small = kb.restricted(frozenset({"A1"}))
+        profile = small.profile("gps_bias")
+        assert set(profile.fire_probs) <= {"A1"}
+        # Restriction does not mutate the original.
+        assert "A5" in kb.profile("gps_bias").fire_probs
+
+
+class TestDefaultKnowledgeBase:
+    def test_covers_standard_attacks(self):
+        kb = default_knowledge_base()
+        expected = {
+            "none", "gps_bias", "gps_drift", "gps_freeze", "gps_noise",
+            "imu_gyro_bias", "odom_scale", "compass_offset", "steer_offset",
+            "cmd_delay", "radar_scale", "radar_ghost", "radar_blind",
+        }
+        assert set(kb.causes) == expected
+
+    def test_profiles_reference_real_assertions(self):
+        kb = default_knowledge_base()
+        for profile in kb.profiles():
+            for aid in profile.fire_probs:
+                assert aid in CATALOG_IDS, f"{profile.cause} references {aid}"
+
+    def test_probabilities_valid(self):
+        for profile in default_knowledge_base().profiles():
+            for p in profile.fire_probs.values():
+                assert 0.0 < p < 1.0
+
+    def test_each_cause_has_distinct_signature(self):
+        # No two causes may share the same high-probability assertion set —
+        # otherwise they are not distinguishable in principle.
+        kb = default_knowledge_base()
+        signatures = {}
+        for profile in kb.profiles():
+            if profile.cause == "none":
+                continue
+            sig = frozenset(a for a, p in profile.fire_probs.items() if p >= 0.6)
+            assert sig not in signatures.values(), (
+                f"{profile.cause} duplicates another cause's signature"
+            )
+            signatures[profile.cause] = sig

@@ -1,0 +1,86 @@
+"""Tests for the online monitor and offline checker (and their equality)."""
+
+import pytest
+
+from repro.core.catalog import default_catalog
+from repro.core.checker import check_trace
+from repro.core.dsl import BoundAssertion
+from repro.core.monitor import OnlineMonitor
+
+from conftest import make_record, make_trace
+
+
+def bound_assertion(**kw):
+    return BoundAssertion("T1", "test", channel="cte_true", bound=2.0,
+                          debounce_on=2, debounce_off=3, **kw)
+
+
+class TestOnlineMonitor:
+    def test_feed_returns_closed_episodes(self):
+        monitor = OnlineMonitor([bound_assertion()])
+        out = []
+        for i in range(40):
+            cte = 5.0 if 10 <= i < 20 else 0.0
+            out.extend(monitor.feed(make_record(i, cte_true=cte)))
+        assert len(out) == 1
+        assert out[0].assertion_id == "T1"
+
+    def test_finish_closes_open_episodes(self):
+        monitor = OnlineMonitor([bound_assertion()])
+        for i in range(20):
+            monitor.feed(make_record(i, cte_true=5.0))
+        report = monitor.finish()
+        assert report.summaries["T1"].fired
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OnlineMonitor([bound_assertion(), bound_assertion()])
+
+    def test_finished_monitor_rejects_feed(self):
+        monitor = OnlineMonitor([bound_assertion()])
+        monitor.finish()
+        with pytest.raises(RuntimeError):
+            monitor.feed(make_record(0))
+        with pytest.raises(RuntimeError):
+            monitor.finish()
+
+    def test_report_meta_from_trace(self):
+        trace = make_trace(10)
+        monitor = OnlineMonitor([bound_assertion()])
+        monitor.feed_all(trace)
+        report = monitor.finish(trace)
+        assert report.scenario == "synthetic"
+        assert report.duration == pytest.approx(trace.duration)
+
+
+class TestOfflineChecker:
+    def test_default_catalog_used(self):
+        report = check_trace(make_trace(300))
+        assert len(report.summaries) == 22
+
+    def test_assertions_reusable_across_calls(self):
+        assertions = [bound_assertion()]
+        bad = make_trace(50, mutate=lambda s, r: r.replace(cte_true=5.0))
+        good = make_trace(50)
+        assert check_trace(bad, assertions).any_fired
+        assert not check_trace(good, assertions).any_fired
+
+
+class TestOnlineOfflineEquivalence:
+    def test_identical_verdicts(self, nominal_run, gps_bias_run):
+        for run in (nominal_run, gps_bias_run):
+            trace = run.trace
+            offline = check_trace(trace, default_catalog())
+
+            monitor = OnlineMonitor(default_catalog())
+            streamed = []
+            for record in trace:
+                streamed.extend(monitor.feed(record))
+            online = monitor.finish(trace)
+
+            assert offline.fired_ids == online.fired_ids
+            assert len(offline.violations) == len(online.violations)
+            for a, b in zip(offline.violations, online.violations):
+                assert a == b
+            for aid, summary in offline.summaries.items():
+                assert online.summaries[aid] == summary

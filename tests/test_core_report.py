@@ -1,0 +1,40 @@
+"""Tests for repro.core.report rendering."""
+
+from repro.core.checker import check_trace
+from repro.core.diagnosis import diagnose
+from repro.core.report import render_check_report, render_diagnosis
+
+
+class TestRenderCheckReport:
+    def test_nominal_reports_clean(self, nominal_run):
+        report = check_trace(nominal_run.trace)
+        text = render_check_report(report)
+        assert "no anomaly detected" in text
+        assert "s_curve" in text
+
+    def test_attacked_lists_violations(self, gps_bias_run):
+        report = check_trace(gps_bias_run.trace)
+        text = render_check_report(report)
+        assert "fired" in text
+        assert "violation episodes" in text
+        assert "A5" in text or "A4" in text
+
+    def test_truncation_note(self, gps_bias_run):
+        report = check_trace(gps_bias_run.trace)
+        text = render_check_report(report, max_violations=1)
+        if len(report.violations) > 1:
+            assert "more" in text
+
+
+class TestRenderDiagnosis:
+    def test_top_cause_marked(self, gps_bias_run):
+        report = check_trace(gps_bias_run.trace)
+        result = diagnose(report)
+        text = render_diagnosis(result)
+        assert "=>" in text
+        assert result.top().cause in text
+
+    def test_supporting_evidence_listed(self, gps_bias_run):
+        report = check_trace(gps_bias_run.trace)
+        text = render_diagnosis(diagnose(report))
+        assert "supported by" in text

@@ -1,0 +1,85 @@
+"""Tests for repro.core.spec: persistable catalog configurations."""
+
+import pytest
+
+from repro.core.catalog import CATALOG_IDS
+from repro.core.checker import check_trace
+from repro.core.spec import AssertionSpec, CatalogSpec
+from repro.core.tuning import calibrate_catalog
+
+from conftest import make_trace
+
+
+class TestAssertionSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssertionSpec("A99")
+        with pytest.raises(ValueError):
+            AssertionSpec("A1", bound_scale=0.0)
+
+
+class TestCatalogSpec:
+    def test_default_builds_full_catalog(self):
+        catalog = CatalogSpec.default().build()
+        assert [a.assertion_id for a in catalog] == list(CATALOG_IDS)
+
+    def test_disable_assertion(self):
+        spec = CatalogSpec.default()
+        spec.set("A1", enabled=False)
+        assert "A1" not in spec.enabled_ids()
+        catalog = spec.build()
+        assert all(a.assertion_id != "A1" for a in catalog)
+
+    def test_bound_scale_applied(self):
+        spec = CatalogSpec.default()
+        spec.set("A1", bound_scale=3.0)
+        catalog = spec.build()
+        a1 = next(a for a in catalog if a.assertion_id == "A1")
+        assert a1.bound_scale == 3.0
+        # The relaxed bound tolerates a 5 m cte (stock bound: 2.5 m).
+        trace = make_trace(200, mutate=lambda s, r: r.replace(cte_true=5.0))
+        assert not check_trace(trace, [a1]).any_fired
+
+    def test_set_preserves_other_fields(self):
+        spec = CatalogSpec.default()
+        spec.set("A1", bound_scale=2.0)
+        spec.set("A1", enabled=False)
+        assert spec.specs["A1"].bound_scale == 2.0
+        assert not spec.specs["A1"].enabled
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        spec = CatalogSpec.default()
+        spec.set("A4", bound_scale=1.5)
+        spec.set("A11", enabled=False)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        loaded = CatalogSpec.load(path)
+        assert loaded.specs["A4"].bound_scale == 1.5
+        assert not loaded.specs["A11"].enabled
+        assert loaded.enabled_ids() == spec.enabled_ids()
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            CatalogSpec.from_dict({"format_version": 99})
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not a valid"):
+            CatalogSpec.load(path)
+
+
+class TestCalibrationIntegration:
+    def test_calibration_to_spec_roundtrip(self, tmp_path):
+        noisy_nominal = make_trace(
+            600, mutate=lambda s, r: r.replace(cte_true=2.7))
+        result = calibrate_catalog([noisy_nominal], target_headroom=0.1)
+        spec = CatalogSpec.from_calibration(result)
+        path = tmp_path / "calibrated.json"
+        spec.save(path)
+        catalog = CatalogSpec.load(path).build()
+        # The persisted calibration still silences the nominal corpus.
+        assert not check_trace(noisy_nominal, catalog).any_fired
+        assert "calibrated" in spec.description

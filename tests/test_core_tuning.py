@@ -1,0 +1,100 @@
+"""Tests for repro.core.tuning: threshold calibration."""
+
+import pytest
+
+from repro.core.catalog import default_catalog
+from repro.core.checker import check_trace
+from repro.core.dsl import BoundAssertion
+from repro.core.tuning import calibrate_catalog
+
+from conftest import make_trace
+
+
+def borderline_trace(cte=2.2):
+    """A healthy-by-design trace whose cte rides near the A1 bound (2.5)."""
+    def mutate(step, record):
+        return record.replace(cte_true=cte if step % 7 else cte * 0.9)
+
+    return make_trace(600, mutate=mutate)
+
+
+class TestScaleBound:
+    def test_scaling_relaxes(self):
+        a = BoundAssertion("T", "t", channel="cte_true", bound=2.0,
+                           debounce_on=2, debounce_off=3)
+        bad = make_trace(100, mutate=lambda s, r: r.replace(cte_true=3.0))
+        assert check_trace(bad, [a]).any_fired
+        a.scale_bound(2.0)  # effective bound now 4.0
+        assert not check_trace(bad, [a]).any_fired
+
+    def test_invalid_factor(self):
+        a = BoundAssertion("T", "t", channel="cte_true", bound=2.0)
+        with pytest.raises(ValueError):
+            a.scale_bound(0.0)
+
+    def test_chaining(self):
+        a = BoundAssertion("T", "t", channel="cte_true", bound=2.0)
+        assert a.scale_bound(1.5) is a
+
+
+class TestCalibrateCatalog:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_catalog([make_trace(10)], target_headroom=0.0)
+        with pytest.raises(ValueError):
+            calibrate_catalog([], target_headroom=0.1)
+
+    def test_clean_corpus_changes_nothing(self):
+        result = calibrate_catalog([make_trace(600)], target_headroom=0.05)
+        assert result.adjusted_ids == []
+        assert all(h.scale == 1.0 for h in result.headrooms.values())
+
+    def test_borderline_corpus_relaxes_a1(self):
+        # cte rides at 2.2 m against A1's 2.5 m bound: headroom 0.12 only;
+        # a 0.3 target forces a relaxation.
+        result = calibrate_catalog([borderline_trace()],
+                                   target_headroom=0.3, ids=("A1",))
+        assert "A1" in result.adjusted_ids
+        assert result.scale_of("A1") > 1.0
+
+    def test_calibrated_catalog_silences_nominal_fp(self):
+        # cte at 2.7 m fires stock A1 (bound 2.5); after calibration on
+        # that same corpus the assertion no longer fires on it.
+        noisy_nominal = make_trace(
+            600, mutate=lambda s, r: r.replace(cte_true=2.7))
+        stock = check_trace(noisy_nominal, default_catalog(("A1",)))
+        assert stock.any_fired
+        result = calibrate_catalog([noisy_nominal], target_headroom=0.1,
+                                   ids=("A1",))
+        calibrated = result.build_catalog(("A1",))
+        assert not check_trace(noisy_nominal, calibrated).any_fired
+
+    def test_calibration_preserves_attack_sensitivity(self):
+        # Relaxing for a 2.7 m nominal must still catch an 8 m deviation.
+        noisy_nominal = make_trace(
+            600, mutate=lambda s, r: r.replace(cte_true=2.7))
+        result = calibrate_catalog([noisy_nominal], target_headroom=0.1,
+                                   ids=("A1",))
+        attacked = make_trace(
+            600,
+            mutate=lambda s, r: r.replace(cte_true=8.0 if s > 300 else 0.0),
+        )
+        report = check_trace(attacked, result.build_catalog(("A1",)))
+        assert report.any_fired
+
+    def test_summary_text(self):
+        result = calibrate_catalog([borderline_trace()],
+                                   target_headroom=0.3, ids=("A1", "A2"))
+        text = result.summary()
+        assert "A1" in text
+        assert "target headroom 0.30" in text
+
+    def test_multi_trace_corpus_takes_worst(self):
+        clean = make_trace(600)
+        borderline = borderline_trace()
+        solo = calibrate_catalog([borderline], target_headroom=0.3,
+                                 ids=("A1",))
+        both = calibrate_catalog([clean, borderline], target_headroom=0.3,
+                                 ids=("A1",))
+        assert both.scale_of("A1") == pytest.approx(solo.scale_of("A1"))
+        assert both.corpus_size == 2

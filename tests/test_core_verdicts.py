@@ -1,0 +1,83 @@
+"""Tests for repro.core.verdicts."""
+
+import pytest
+
+from repro.core.verdicts import AssertionSummary, CheckReport, Violation
+
+
+def violation(aid="A1", t_start=10.0, t_end=12.0, margin=-0.5):
+    return Violation(assertion_id=aid, name=aid, category="behaviour",
+                     t_start=t_start, t_end=t_end, worst_margin=margin)
+
+
+def summary(aid="A1", fired=True, first_t=10.0, total=2.0, worst=-0.5,
+            episodes=1):
+    return AssertionSummary(assertion_id=aid, name=aid, category="behaviour",
+                            fired=fired, episodes=episodes,
+                            first_violation_t=first_t,
+                            total_violation_time=total, worst_margin=worst)
+
+
+class TestViolation:
+    def test_duration_and_severity(self):
+        v = violation()
+        assert v.duration == pytest.approx(2.0)
+        assert v.severity == pytest.approx(0.5)
+
+    def test_severity_clamped_nonnegative(self):
+        assert violation(margin=0.3).severity == 0.0
+
+
+class TestAssertionSummaryStrength:
+    def test_not_fired_zero(self):
+        assert summary(fired=False, first_t=None, total=0.0, worst=0.5,
+                       episodes=0).strength == 0.0
+
+    def test_deep_violation_strong(self):
+        deep = summary(worst=-1.5, total=5.0, episodes=3).strength
+        shallow = summary(worst=-0.05, total=0.1, episodes=1).strength
+        assert deep > shallow
+        assert deep <= 1.0
+        assert shallow >= 0.25  # any fired assertion carries base evidence
+
+
+class TestCheckReport:
+    def make_report(self):
+        return CheckReport(
+            scenario="s", controller="c", attack_label="a", duration=60.0,
+            violations=[violation("A2", 20.0, 22.0), violation("A1", 10.0, 12.0)],
+            summaries={
+                "A1": summary("A1", first_t=10.0),
+                "A2": summary("A2", first_t=20.0),
+                "A3": summary("A3", fired=False, first_t=None, total=0.0,
+                              worst=0.4, episodes=0),
+            },
+        )
+
+    def test_fired_ids_ordered_by_time(self):
+        assert self.make_report().fired_ids == ["A1", "A2"]
+
+    def test_any_fired(self):
+        assert self.make_report().any_fired
+
+    def test_first_violation_time(self):
+        report = self.make_report()
+        assert report.first_violation_time() == 10.0
+        assert report.first_violation_time("A2") == 20.0
+        assert report.first_violation_time("A3") is None
+
+    def test_detection_latency(self):
+        report = self.make_report()
+        assert report.detection_latency(onset=15.0) == pytest.approx(5.0)
+        assert report.detection_latency(onset=15.0, assertion_id="A1") is None
+        assert report.detection_latency(onset=25.0) is None
+
+    def test_pre_onset_violations_ignored(self):
+        report = self.make_report()
+        # A1 fired at t=10; with onset=11 only A2 (t=20) counts.
+        assert report.detection_latency(onset=11.0) == pytest.approx(9.0)
+
+    def test_evidence_vector(self):
+        ev = self.make_report().evidence()
+        assert ev["A1"] > 0.0
+        assert ev["A3"] == 0.0

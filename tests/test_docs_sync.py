@@ -1,0 +1,88 @@
+"""Documentation/code consistency checks.
+
+Docs that drift from the code are worse than no docs; these tests pin the
+reference documents to the registries they describe.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.attacks.campaign import ATTACK_CLASSES
+from repro.cli import build_parser
+from repro.core.catalog import CATALOG_IDS, make_assertion
+from repro.experiments import ALL_EXPERIMENTS
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def catalog_doc() -> str:
+    return (ROOT / "docs" / "assertion_catalog.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def readme() -> str:
+    return (ROOT / "README.md").read_text(encoding="utf-8")
+
+
+class TestCatalogDoc:
+    def test_every_assertion_documented(self, catalog_doc):
+        for aid in CATALOG_IDS:
+            assert f"| {aid} |" in catalog_doc, f"{aid} missing from docs"
+
+    def test_no_phantom_assertions(self, catalog_doc):
+        import re
+
+        documented = set(re.findall(r"^\| (A\d+[GSC]?) \|", catalog_doc,
+                                    flags=re.M))
+        assert documented == set(CATALOG_IDS)
+
+    def test_families_match_code(self, catalog_doc):
+        for aid in CATALOG_IDS:
+            assertion = make_assertion(aid)
+            row = next(line for line in catalog_doc.splitlines()
+                       if line.startswith(f"| {aid} |"))
+            assert f"| {assertion.category} |" in row, (
+                f"{aid}: doc family disagrees with code "
+                f"({assertion.category!r})"
+            )
+
+
+class TestReadme:
+    def test_catalog_size_current(self, readme):
+        assert f"a {len(CATALOG_IDS)}-assertion catalog" in readme
+
+    def test_examples_listed_exist(self, readme):
+        for line in readme.splitlines():
+            if line.startswith("| `") and line.endswith("|") and ".py" in line:
+                name = line.split("`")[1]
+                assert (ROOT / "examples" / name).exists(), name
+
+    def test_every_example_listed(self, readme):
+        for path in (ROOT / "examples").glob("*.py"):
+            assert path.name in readme, f"{path.name} missing from README"
+
+
+class TestExperimentsDoc:
+    def test_every_experiment_in_experiments_md(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for exp_id in ALL_EXPERIMENTS:
+            assert exp_id.upper() in text, f"{exp_id} missing"
+
+    def test_every_experiment_has_bench(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        for exp_id in ALL_EXPERIMENTS:
+            assert any(b.startswith(f"bench_{exp_id}_") for b in benches), (
+                f"no bench for {exp_id}: {sorted(benches)}"
+            )
+
+
+class TestCliSurface:
+    def test_attack_choices_match_registry(self):
+        parser = build_parser()
+        # Find the run subparser's --attack choices.
+        run_parser = parser._subparsers._group_actions[0].choices["run"]
+        attack_action = next(a for a in run_parser._actions
+                             if a.dest == "attack")
+        assert set(attack_action.choices) == {"none"} | set(ATTACK_CLASSES)

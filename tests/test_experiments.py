@@ -1,0 +1,124 @@
+"""Integration tests for the experiment builders (quick config).
+
+These run real (reduced) simulation grids, so they are the slowest tests
+in the suite; the in-process run cache keeps the total manageable because
+all builders share grid points.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_anomaly_traces,
+    build_assertion_ablation,
+    build_detection_matrix,
+    build_diagnosis_accuracy,
+    build_intensity_sweep,
+    build_latency_table,
+    build_monitor_overhead,
+    build_refinement_loop,
+    build_controller_robustness,
+)
+from repro.experiments.config import STANDARD_ATTACKS
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.quick()
+
+
+class TestE1Detection:
+    def test_matrix_shape_and_claims(self, config):
+        table = build_detection_matrix(config)
+        attacks = table.column_values("attack")
+        assert attacks[0] == "none"
+        assert set(STANDARD_ATTACKS) <= set(attacks)
+        detected = dict(zip(attacks, table.column_values("detected")))
+        # Headline claim: no false positives, every attack detected.
+        assert detected["none"].startswith("0/")
+        for attack in STANDARD_ATTACKS:
+            n = detected[attack].split("/")[1]
+            assert detected[attack] == f"{n}/{n}"
+
+
+class TestE2Latency:
+    def test_consistency_beats_behaviour_for_gps_bias(self, config):
+        table = build_latency_table(config)
+        rows = {r[0]: r for r in table.rows}
+        row = rows["gps_bias"]
+        consistency = float(row[2])
+        behaviour = float(row[3]) if row[3] != "-" else float("inf")
+        assert consistency <= behaviour
+
+
+class TestE3Traces:
+    def test_attacked_exceeds_nominal_after_onset(self, config):
+        tables = build_anomaly_traces(config)
+        assert len(tables) == len(config.trace_scenarios)
+        table = tables[0]
+        # Compare last sampled row: attacked |cte| > nominal |cte| for the
+        # first controller.
+        last = table.rows[-1]
+        nominal, attacked = last[1], last[2]
+        if nominal != "-" and attacked != "-":
+            assert float(attacked) > float(nominal)
+
+
+class TestE4Diagnosis:
+    def test_total_accuracy_high(self, config):
+        table = build_diagnosis_accuracy(config)
+        total_row = table.rows[-1]
+        assert total_row[0] == "TOTAL"
+        top1_num, top1_den = total_row[2].split()[0].split("/")
+        assert int(top1_num) / int(top1_den) >= 0.7
+
+
+class TestE5Robustness:
+    def test_covers_grid(self, config):
+        table = build_controller_robustness(config)
+        n_expected = (len(STANDARD_ATTACKS) + 1) * len(config.controllers)
+        assert len(table.rows) == n_expected
+
+    def test_nominal_rows_clean(self, config):
+        table = build_controller_robustness(config)
+        for row in table.rows:
+            if row[0] == "none":
+                assert float(row[2]) < 1.0  # max|cte| under a meter
+
+
+class TestE6Sweep:
+    def test_detection_rate_monotone_nondecreasing(self, config):
+        table = build_intensity_sweep(config)
+        rates = [int(r[2].split("/")[0]) for r in table.rows
+                 if r[0] == "gps_bias"]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_damage_grows_with_intensity(self, config):
+        table = build_intensity_sweep(config)
+        damage = [float(r[4]) for r in table.rows if r[0] == "gps_bias"]
+        assert damage[-1] > damage[0]
+
+
+class TestE7Overhead:
+    def test_overhead_small_and_reported(self, config):
+        table = build_monitor_overhead(config)
+        assert len(table.rows) >= 4
+        # Full catalog stays below 20% of the 50 ms control period.
+        pct = float(table.rows[-1][2])
+        assert pct < 20.0
+
+
+class TestE8Ablation:
+    def test_accuracy_improves_with_stages(self, config):
+        table = build_assertion_ablation(config)
+        top1 = [int(r[3].split("/")[0]) for r in table.rows]
+        assert top1[-1] >= top1[0]
+        assert len(table.rows) == 5
+
+
+class TestE9Refinement:
+    def test_undiagnosed_monotone_decrease(self, config):
+        table = build_refinement_loop(config)
+        undiagnosed = [int(r[4]) for r in table.rows]
+        assert all(b <= a for a, b in zip(undiagnosed, undiagnosed[1:]))
+        assert undiagnosed[-1] <= undiagnosed[0]

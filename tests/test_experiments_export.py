@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.export."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import save_tables, table_to_csv, table_to_markdown
+from repro.experiments.tables import Table
+
+
+def sample_table(title="Table 1 (E1): demo"):
+    t = Table(title=title, columns=["attack", "rate"])
+    t.add_row("gps_bias", 0.5)
+    t.add_row("none", 0)
+    t.add_note("a note")
+    return t
+
+
+class TestCsvExport:
+    def test_roundtrippable_rows(self, tmp_path):
+        path = tmp_path / "t.csv"
+        table_to_csv(sample_table(), path)
+        with path.open() as f:
+            rows = [r for r in csv.reader(
+                line for line in f if not line.startswith("#"))]
+        assert rows[0] == ["attack", "rate"]
+        assert rows[1] == ["gps_bias", "0.50"]
+
+    def test_title_and_notes_as_comments(self, tmp_path):
+        path = tmp_path / "t.csv"
+        table_to_csv(sample_table(), path)
+        text = path.read_text()
+        assert text.startswith("# Table 1")
+        assert "# note: a note" in text
+
+
+class TestMarkdownExport:
+    def test_structure(self):
+        md = table_to_markdown(sample_table())
+        assert md.startswith("### Table 1")
+        assert "| attack | rate |" in md
+        assert "|---|---|" in md
+        assert "*a note*" in md
+
+    def test_pipes_escaped(self):
+        t = Table(title="T", columns=["a"])
+        t.add_row("x|y")
+        assert "x\\|y" in table_to_markdown(t)
+
+
+class TestSaveTables:
+    def test_writes_both_formats(self, tmp_path):
+        written = save_tables(sample_table(), tmp_path)
+        names = {p.name for p in written}
+        assert names == {"table_1_e1.csv", "table_1_e1.md"}
+        assert all(p.exists() for p in written)
+
+    def test_duplicate_titles_disambiguated(self, tmp_path):
+        tables = [sample_table(), sample_table()]
+        written = save_tables(tables, tmp_path, formats=("csv",))
+        assert len({p.name for p in written}) == 2
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_tables(sample_table(), tmp_path, formats=("pdf",))
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        save_tables(sample_table(), target)
+        assert target.is_dir()

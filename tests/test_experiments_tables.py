@@ -1,0 +1,56 @@
+"""Tests for the experiment table renderer and config."""
+
+import pytest
+
+from repro.experiments.config import STANDARD_ATTACKS, ExperimentConfig
+from repro.experiments.tables import Table
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        t = Table(title="T", columns=["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", True)
+        text = t.render()
+        assert "T" in text
+        assert "2.50" in text
+        assert "yes" in text
+
+    def test_row_length_validated(self):
+        t = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_alignment(self):
+        t = Table(title="T", columns=["name", "v"])
+        t.add_row("long-name-here", 1)
+        t.add_row("x", 22)
+        lines = t.render().splitlines()
+        data_lines = lines[4:]
+        assert len(data_lines[0]) == len(data_lines[1])
+
+    def test_notes_rendered(self):
+        t = Table(title="T", columns=["a"])
+        t.add_note("hello note")
+        assert "note: hello note" in t.render()
+
+    def test_column_values(self):
+        t = Table(title="T", columns=["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column_values("b") == ["2", "4"]
+
+    def test_str_is_render(self):
+        t = Table(title="T", columns=["a"])
+        assert str(t) == t.render()
+
+
+class TestExperimentConfig:
+    def test_full_covers_standard_attacks(self):
+        assert ExperimentConfig.full().attacks == STANDARD_ATTACKS
+
+    def test_quick_is_smaller(self):
+        full, quick = ExperimentConfig.full(), ExperimentConfig.quick()
+        assert len(quick.seeds) < len(full.seeds)
+        assert len(quick.controllers) < len(full.controllers)
+        assert quick.duration is not None

@@ -1,0 +1,92 @@
+"""Tests for the extension features: EKF gating and combined attacks."""
+
+import pytest
+
+from repro.attacks.campaign import combined_attack, standard_attack
+from repro.control.estimator import Ekf, EkfConfig
+from repro.core.checker import check_trace
+from repro.core.diagnosis import diagnose
+from repro.sim.engine import run_scenario
+
+from conftest import short_scenario
+
+
+class TestEkfGating:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EkfConfig(gate_nis=0.0)
+        EkfConfig(gate_nis=13.8)  # valid
+
+    def test_gate_rejects_outlier(self):
+        gated = Ekf(EkfConfig(gate_nis=13.8))
+        gated.reset(0.0, 0.0, 0.0, 8.0)
+        for _ in range(20):
+            gated.predict(0.0, 0.0, 0.05)
+            gated.update_gps(gated.estimate.x, 0.0)
+        x_before = gated.estimate.x
+        nis = gated.update_gps(x_before + 50.0, 50.0)
+        assert nis > 13.8
+        # State untouched by the rejected fix.
+        assert gated.estimate.x == pytest.approx(x_before)
+        assert abs(gated.estimate.y) < 0.5
+
+    def test_ungated_filter_follows_outlier(self):
+        plain = Ekf()
+        plain.reset(0.0, 0.0, 0.0, 8.0)
+        for _ in range(20):
+            plain.predict(0.0, 0.0, 0.05)
+            plain.update_gps(plain.estimate.x, 0.0)
+        y_before = plain.estimate.y
+        plain.update_gps(plain.estimate.x, 50.0)
+        assert plain.estimate.y > y_before + 0.1
+
+    def test_gating_neutralizes_freeze_attack(self):
+        scenario = short_scenario("s_curve", duration=40.0)
+        campaign = standard_attack("gps_freeze", onset=12.0)
+        base = run_scenario(scenario, campaign=campaign)
+        hardened = run_scenario(scenario, campaign=campaign,
+                                ekf_config=EkfConfig(gate_nis=13.8))
+        assert hardened.metrics.max_abs_cte < 0.3 * base.metrics.max_abs_cte
+
+    def test_gating_free_when_nominal(self):
+        scenario = short_scenario("s_curve", duration=30.0)
+        base = run_scenario(scenario)
+        hardened = run_scenario(scenario,
+                                ekf_config=EkfConfig(gate_nis=13.8))
+        assert hardened.metrics.mean_abs_cte == pytest.approx(
+            base.metrics.mean_abs_cte, abs=0.05)
+
+
+class TestCombinedAttacks:
+    def test_label_and_contents(self):
+        campaign = combined_attack(("gps_bias", "imu_gyro_bias"), onset=10.0)
+        assert campaign.label == "gps_bias+imu_gyro_bias"
+        assert len(campaign.attacks) == 2
+        channels = {a.channel for a in campaign.attacks}
+        assert channels == {"gps", "imu"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combined_attack(())
+
+    def test_disjoint_pair_fires_both_signatures(self):
+        scenario = short_scenario("s_curve", duration=40.0)
+        result = run_scenario(
+            scenario,
+            campaign=combined_attack(("imu_gyro_bias", "steer_offset"),
+                                     onset=12.0),
+        )
+        report = check_trace(result.trace)
+        assert "A8" in report.fired_ids   # imu signature
+        assert "A16" in report.fired_ids  # actuation signature
+
+    def test_disjoint_pair_both_in_top2(self):
+        scenario = short_scenario("s_curve", duration=40.0)
+        result = run_scenario(
+            scenario,
+            campaign=combined_attack(("imu_gyro_bias", "steer_offset"),
+                                     onset=12.0),
+        )
+        ranking = diagnose(check_trace(result.trace))
+        top2 = ranking.top_k(2)
+        assert set(top2) == {"imu_gyro_bias", "steer_offset"}

@@ -1,0 +1,103 @@
+"""Tests for repro.geom.angles."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geom.angles import angle_diff, circular_mean, normalize_angle, unwrap_angles
+
+finite_angle = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestNormalizeAngle:
+    @pytest.mark.parametrize("angle,expected", [
+        (0.0, 0.0),
+        (math.pi, math.pi),
+        (-math.pi, math.pi),
+        (3 * math.pi, math.pi),
+        (2 * math.pi, 0.0),
+        (-0.1, -0.1),
+        (math.pi + 0.1, -math.pi + 0.1),
+    ])
+    def test_known_values(self, angle, expected):
+        assert normalize_angle(angle) == pytest.approx(expected, abs=1e-12)
+
+    @given(finite_angle)
+    def test_range_property(self, angle):
+        n = normalize_angle(angle)
+        assert -math.pi < n <= math.pi
+
+    @given(finite_angle)
+    def test_equivalence_property(self, angle):
+        n = normalize_angle(angle)
+        # Same point on the circle.
+        assert math.cos(n) == pytest.approx(math.cos(angle), abs=1e-6)
+        assert math.sin(n) == pytest.approx(math.sin(angle), abs=1e-6)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            normalize_angle(float("nan"))
+        with pytest.raises(ValueError):
+            normalize_angle(float("inf"))
+
+
+class TestAngleDiff:
+    def test_wrap_around(self):
+        assert angle_diff(math.pi - 0.1, -math.pi + 0.1) == pytest.approx(-0.2)
+
+    def test_simple(self):
+        assert angle_diff(0.5, 0.2) == pytest.approx(0.3)
+
+    @given(finite_angle, finite_angle)
+    def test_antisymmetry(self, a, b):
+        d1 = angle_diff(a, b)
+        d2 = angle_diff(b, a)
+        # d1 == -d2 except exactly at the +pi branch point.
+        if abs(abs(d1) - math.pi) > 1e-9:
+            assert d1 == pytest.approx(-d2, abs=1e-9)
+
+
+class TestUnwrap:
+    def test_empty_and_single(self):
+        assert unwrap_angles([]) == []
+        assert unwrap_angles([1.25]) == [1.25]
+
+    def test_removes_jump(self):
+        raw = [3.0, -3.0]  # a wrap, true motion is +0.28
+        out = unwrap_angles(raw)
+        assert out[1] - out[0] == pytest.approx(2 * math.pi - 6.0)
+
+    def test_continuous_signal_unchanged(self):
+        raw = [0.0, 0.1, 0.2, 0.3]
+        assert unwrap_angles(raw) == pytest.approx(raw)
+
+    @given(st.lists(st.floats(min_value=-0.5, max_value=0.5,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_increments_preserved(self, increments):
+        angles, acc = [], 0.0
+        for inc in increments:
+            acc += inc
+            angles.append(normalize_angle(acc))
+        out = unwrap_angles(angles)
+        for i in range(1, len(out)):
+            expected = increments[i]
+            assert out[i] - out[i - 1] == pytest.approx(expected, abs=1e-9)
+
+
+class TestCircularMean:
+    def test_simple(self):
+        assert circular_mean([0.1, -0.1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_wraps(self):
+        m = circular_mean([math.pi - 0.1, -math.pi + 0.1])
+        assert abs(m) == pytest.approx(math.pi)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean([])
+
+    def test_undefined_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean([0.0, math.pi])

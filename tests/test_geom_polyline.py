@@ -1,0 +1,150 @@
+"""Tests for repro.geom.polyline."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geom.polyline import Polyline
+from repro.geom.routes import arc_route, straight_route, urban_loop_route
+from repro.geom.vec import Vec2
+
+
+def square(side=10.0, closed=True):
+    pts = [Vec2(0, 0), Vec2(side, 0), Vec2(side, side), Vec2(0, side)]
+    return Polyline(pts, closed=closed)
+
+
+class TestConstruction:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            Polyline([Vec2(0, 0)])
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(ValueError):
+            Polyline([Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)])
+
+    def test_length_open(self):
+        p = Polyline([Vec2(0, 0), Vec2(3, 0), Vec2(3, 4)])
+        assert p.length == pytest.approx(7.0)
+
+    def test_closed_adds_closing_segment(self):
+        p = square()
+        assert p.closed
+        assert p.length == pytest.approx(40.0)
+
+    def test_accepts_tuples(self):
+        p = Polyline([(0, 0), (1, 0)])
+        assert p.length == pytest.approx(1.0)
+
+
+class TestSample:
+    def test_start_and_end(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        assert p.sample(0.0).point == Vec2(0, 0)
+        assert p.sample(10.0).point == Vec2(10, 0)
+
+    def test_midpoint(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        s = p.sample(5.0)
+        assert s.point.x == pytest.approx(5.0)
+        assert s.heading == pytest.approx(0.0)
+
+    def test_open_clamps(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        assert p.sample(-5.0).point == Vec2(0, 0)
+        assert p.sample(25.0).point == Vec2(10, 0)
+
+    def test_closed_wraps(self):
+        p = square()
+        s = p.sample(45.0)  # 5 m past a full lap
+        assert s.point.x == pytest.approx(5.0)
+        assert s.point.y == pytest.approx(0.0, abs=1e-9)
+
+    def test_lookahead(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        assert p.lookahead(2.0, 3.0).point.x == pytest.approx(5.0)
+
+
+class TestProject:
+    def test_point_on_path(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        proj = p.project(Vec2(4.0, 0.0))
+        assert proj.station == pytest.approx(4.0)
+        assert proj.cross_track == pytest.approx(0.0, abs=1e-12)
+
+    def test_left_is_positive(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        assert p.project(Vec2(5, 2)).cross_track == pytest.approx(2.0)
+        assert p.project(Vec2(5, -2)).cross_track == pytest.approx(-2.0)
+
+    def test_beyond_ends_clamps_to_vertices(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        proj = p.project(Vec2(15, 3))
+        assert proj.point == Vec2(10, 0)
+        assert proj.distance == pytest.approx(math.hypot(5, 3))
+
+    def test_hint_speeds_tracking_without_changing_result(self):
+        route = arc_route()
+        q = Vec2(30.0, 2.0)
+        full = route.project(q)
+        hinted = route.project(q, hint_station=full.station)
+        assert hinted.station == pytest.approx(full.station)
+        assert hinted.cross_track == pytest.approx(full.cross_track)
+
+    @settings(max_examples=40)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_sample_project_roundtrip(self, frac):
+        route = arc_route(radius=30.0, lead_in=15.0)
+        s = frac * route.length
+        point = route.sample(s).point
+        proj = route.project(point)
+        assert proj.distance < 1e-6
+        assert proj.station == pytest.approx(s, abs=0.05)
+
+
+class TestCurvature:
+    def test_straight_zero(self):
+        p = straight_route(100.0)
+        for s in (0.0, 25.0, 50.0, 99.0):
+            assert p.sample(s).curvature == pytest.approx(0.0, abs=1e-9)
+
+    def test_arc_matches_radius(self):
+        radius = 40.0
+        route = arc_route(radius=radius, lead_in=20.0, spacing=0.5)
+        # In the middle of the arc the discrete curvature approximates 1/R.
+        s_mid = 20.0 + radius * math.pi / 2
+        assert route.sample(s_mid).curvature == pytest.approx(1.0 / radius,
+                                                              rel=0.05)
+
+    def test_left_turn_positive(self):
+        route = arc_route(radius=30.0)
+        s_mid = 20.0 + 30.0 * math.pi / 2
+        assert route.sample(s_mid).curvature > 0
+
+
+class TestResample:
+    def test_uniform_spacing(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0), Vec2(10, 10)])
+        r = p.resampled(1.0)
+        assert r.length == pytest.approx(p.length, rel=0.01)
+        assert r.num_segments >= 19
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            straight_route(10.0).resampled(0.0)
+
+    def test_closed_stays_closed(self):
+        r = urban_loop_route().resampled(2.0)
+        assert r.closed
+
+
+class TestRemaining:
+    def test_open(self):
+        p = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        assert p.remaining(3.0) == pytest.approx(7.0)
+
+    def test_closed_is_length(self):
+        p = square()
+        assert p.remaining(12.0) == pytest.approx(p.length)

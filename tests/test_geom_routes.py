@@ -1,0 +1,99 @@
+"""Tests for repro.geom.routes."""
+
+import math
+
+import pytest
+
+from repro.geom.routes import (
+    arc_route,
+    lane_change_route,
+    s_curve_route,
+    slalom_route,
+    straight_route,
+    urban_loop_route,
+)
+
+
+class TestStraight:
+    def test_length_and_heading(self):
+        r = straight_route(length=150.0)
+        assert r.length == pytest.approx(150.0)
+        __, heading = r.start_pose()
+        assert heading == pytest.approx(0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            straight_route(length=0.0)
+
+
+class TestArc:
+    def test_total_length(self):
+        r = arc_route(radius=40.0, sweep=math.pi / 2, lead_in=20.0)
+        assert r.length == pytest.approx(20.0 + 40.0 * math.pi / 2, rel=0.01)
+
+    def test_starts_along_x(self):
+        start, heading = arc_route().start_pose()
+        assert start.x == pytest.approx(0.0)
+        assert heading == pytest.approx(0.0, abs=0.01)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            arc_route(radius=-1.0)
+        with pytest.raises(ValueError):
+            arc_route(sweep=0.0)
+
+
+class TestSCurve:
+    def test_returns_to_centerline(self):
+        r = s_curve_route(length=240.0, amplitude=12.0, periods=1.0)
+        end = r.end_point()
+        assert end.y == pytest.approx(0.0, abs=0.5)
+
+    def test_amplitude_respected(self):
+        r = s_curve_route(length=240.0, amplitude=10.0)
+        max_y = max(abs(p.y) for p in r.points)
+        assert max_y == pytest.approx(10.0, rel=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            s_curve_route(length=-5.0)
+
+
+class TestSlalom:
+    def test_gate_count_sets_length(self):
+        r = slalom_route(gate_spacing=30.0, num_gates=6)
+        assert r.length >= 30.0 * 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            slalom_route(num_gates=0)
+
+
+class TestLaneChange:
+    def test_final_offset(self):
+        r = lane_change_route(lane_offset=3.5)
+        assert r.end_point().y == pytest.approx(3.5)
+
+    def test_smooth_profile_monotone(self):
+        r = lane_change_route(approach=20.0, maneuver=30.0, tail=20.0,
+                              lane_offset=3.0)
+        ys = [p.y for p in r.points]
+        assert all(b - a > -1e-9 for a, b in zip(ys, ys[1:]))
+
+
+class TestUrbanLoop:
+    def test_closed(self):
+        r = urban_loop_route()
+        assert r.closed
+
+    def test_length_plausible(self):
+        r = urban_loop_route(straight=120.0, width=80.0, corner_radius=18.0)
+        # Rounded rectangle perimeter: 2*(s-2r) + 2*(w-2r) + 2*pi*r
+        expected = 2 * (120 - 36) + 2 * (80 - 36) + 2 * math.pi * 18
+        assert r.length == pytest.approx(expected, rel=0.02)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            urban_loop_route(corner_radius=0.0)
+        with pytest.raises(ValueError):
+            urban_loop_route(straight=30.0, corner_radius=18.0)

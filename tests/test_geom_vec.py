@@ -1,0 +1,123 @@
+"""Tests for repro.geom.vec: Vec2 and Pose."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geom.vec import Pose, Vec2
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+class TestVec2Arithmetic:
+    def test_add_sub(self):
+        assert Vec2(1, 2) + Vec2(3, -1) == Vec2(4, 1)
+        assert Vec2(1, 2) - Vec2(3, -1) == Vec2(-2, 3)
+
+    def test_scalar_mul_div(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+        assert Vec2(3, -6) / 3 == Vec2(1, -2)
+
+    def test_neg(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_dot_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+        assert Vec2(2, 3).dot(Vec2(4, 5)) == 23.0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == 5.0
+        assert Vec2(3, 4).norm_sq() == 25.0
+
+    def test_distance(self):
+        assert Vec2(1, 1).distance_to(Vec2(4, 5)) == 5.0
+
+    def test_heading(self):
+        assert Vec2(1, 0).heading() == 0.0
+        assert Vec2(0, 1).heading() == pytest.approx(math.pi / 2)
+
+    def test_unit(self):
+        u = Vec2(3, 4).unit()
+        assert u.norm() == pytest.approx(1.0)
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0, 0).unit()
+
+    def test_perp_is_left_normal(self):
+        assert Vec2(1, 0).perp() == Vec2(0, 1)
+
+    def test_lerp_endpoints_and_middle(self):
+        a, b = Vec2(0, 0), Vec2(2, 4)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(1, 2)
+
+    def test_from_polar(self):
+        v = Vec2.from_polar(2.0, math.pi / 2)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(2.0)
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+
+class TestVec2Properties:
+    @given(finite, finite, angles)
+    def test_rotation_preserves_norm(self, x, y, angle):
+        v = Vec2(x, y)
+        assert v.rotated(angle).norm() == pytest.approx(v.norm(), abs=1e-6,
+                                                        rel=1e-9)
+
+    @given(finite, finite, angles)
+    def test_rotate_and_back(self, x, y, angle):
+        v = Vec2(x, y)
+        w = v.rotated(angle).rotated(-angle)
+        assert w.x == pytest.approx(x, abs=1e-6, rel=1e-9)
+        assert w.y == pytest.approx(y, abs=1e-6, rel=1e-9)
+
+    @given(finite, finite, finite, finite)
+    def test_dot_symmetry_cross_antisymmetry(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert a.dot(b) == pytest.approx(b.dot(a), rel=1e-9, abs=1e-9)
+        assert a.cross(b) == pytest.approx(-b.cross(a), rel=1e-9, abs=1e-9)
+
+
+class TestPose:
+    def test_forward_left(self):
+        p = Pose(Vec2(0, 0), math.pi / 2)
+        assert p.forward().x == pytest.approx(0.0, abs=1e-12)
+        assert p.forward().y == pytest.approx(1.0)
+        assert p.left().x == pytest.approx(-1.0)
+
+    def test_local_world_roundtrip(self):
+        p = Pose(Vec2(3, -2), 0.7)
+        q = Vec2(5, 9)
+        back = p.to_world(p.to_local(q))
+        assert back.x == pytest.approx(q.x)
+        assert back.y == pytest.approx(q.y)
+
+    def test_to_local_frame_convention(self):
+        # A point straight ahead has +x body coordinate.
+        p = Pose(Vec2(0, 0), math.pi / 2)
+        local = p.to_local(Vec2(0, 5))
+        assert local.x == pytest.approx(5.0)
+        assert local.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_moved_and_turned(self):
+        p = Pose(Vec2(0, 0), 0.0).moved(2.0).turned(math.pi)
+        assert p.x == pytest.approx(2.0)
+        assert p.yaw == pytest.approx(math.pi)
+
+    @given(finite, finite, angles, finite, finite)
+    def test_local_world_inverse_property(self, px, py, yaw, qx, qy):
+        p = Pose(Vec2(px, py), yaw)
+        q = Vec2(qx, qy)
+        r = p.to_local(p.to_world(q))
+        assert r.x == pytest.approx(qx, abs=1e-5, rel=1e-7)
+        assert r.y == pytest.approx(qy, abs=1e-5, rel=1e-7)

@@ -1,0 +1,67 @@
+"""End-to-end pipeline tests: simulate -> persist -> check -> diagnose.
+
+This is the full ADAssure workflow a user runs, exercised for a
+representative subset of attack classes (the full grid lives in the
+benchmark suite).
+"""
+
+import pytest
+
+from repro.attacks.campaign import standard_attack
+from repro.core.catalog import default_catalog
+from repro.core.checker import check_trace
+from repro.core.diagnosis import diagnose
+from repro.sim.engine import run_scenario
+from repro.trace.io import read_trace_jsonl, write_trace_jsonl
+
+from conftest import short_scenario
+
+CASES = ["gps_bias", "gps_freeze", "imu_gyro_bias", "steer_offset"]
+
+
+@pytest.fixture(scope="module", params=CASES)
+def attacked_case(request, tmp_path_factory):
+    attack = request.param
+    scenario = short_scenario("s_curve", duration=35.0)
+    result = run_scenario(scenario, controller="pure_pursuit",
+                          campaign=standard_attack(attack, onset=12.0))
+    path = tmp_path_factory.mktemp("traces") / f"{attack}.jsonl"
+    write_trace_jsonl(result.trace, path)
+    return attack, path
+
+
+class TestFullPipeline:
+    def test_persisted_trace_detects_and_diagnoses(self, attacked_case):
+        attack, path = attacked_case
+        trace = read_trace_jsonl(path)
+        assert trace.meta.attack == attack
+
+        report = check_trace(trace, default_catalog())
+        assert report.detection_latency(12.0) is not None, (
+            f"{attack} not detected after onset"
+        )
+
+        result = diagnose(report)
+        assert result.top().cause == attack, (
+            f"{attack} misdiagnosed as {result.top().cause}"
+        )
+
+    def test_detection_latency_reasonable(self, attacked_case):
+        attack, path = attacked_case
+        trace = read_trace_jsonl(path)
+        report = check_trace(trace, default_catalog())
+        latency = report.detection_latency(12.0)
+        assert latency is not None
+        assert latency < 15.0
+
+
+class TestNominalPipeline:
+    def test_clean_run_stays_clean_through_persistence(self, tmp_path):
+        # Full scenario duration: truncating the run below the time needed
+        # to reach the goal would (correctly) fire the A15 liveness check.
+        result = run_scenario(short_scenario("straight", duration=45.0))
+        path = tmp_path / "nominal.jsonl"
+        write_trace_jsonl(result.trace, path)
+        report = check_trace(read_trace_jsonl(path), default_catalog())
+        assert not report.any_fired
+        assert diagnose(report).top().cause == "none"

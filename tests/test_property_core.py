@@ -1,0 +1,101 @@
+"""Property-based tests over the assertion machinery.
+
+Hypothesis generates randomized (but physically plausible) trace mutations
+and checks the invariants the rest of the system relies on: episode
+well-formedness, online/offline equality, evidence bounds, and diagnosis
+totality.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catalog import default_catalog
+from repro.core.checker import check_trace
+from repro.core.diagnosis import diagnose
+from repro.core.dsl import BoundAssertion
+from repro.core.monitor import OnlineMonitor
+
+from conftest import make_record, make_trace
+
+# A compact encoding of "what goes wrong when": a list of (start, length,
+# channel value) perturbation segments over a 200-step trace.
+segments = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=180),
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=4,
+)
+
+perturbable = st.sampled_from([
+    "cte_true", "nis_gps", "steer_cmd", "odom_speed", "imu_yaw_rate",
+])
+
+
+def perturbed_trace(channel, segs):
+    def mutate(step, record):
+        for start, length, value in segs:
+            if start <= step < start + length:
+                return record.replace(**{channel: value})
+        return record
+
+    return make_trace(200, mutate=mutate)
+
+
+class TestEpisodeInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(segs=segments)
+    def test_episodes_well_formed(self, segs):
+        trace = perturbed_trace("cte_true", segs)
+        assertion = BoundAssertion("T", "t", channel="cte_true", bound=2.0,
+                                   debounce_on=2, debounce_off=4)
+        report = check_trace(trace, [assertion])
+        violations = report.violations
+        for v in violations:
+            assert v.t_end >= v.t_start
+            assert v.worst_margin < 0
+        for a, b in zip(violations, violations[1:]):
+            assert a.t_end <= b.t_start
+        summary = report.summaries["T"]
+        assert summary.fired == bool(violations)
+        assert summary.episodes == len(violations)
+
+    @settings(max_examples=25, deadline=None)
+    @given(channel=perturbable, segs=segments)
+    def test_online_equals_offline(self, channel, segs):
+        trace = perturbed_trace(channel, segs)
+        offline = check_trace(trace, default_catalog())
+        monitor = OnlineMonitor(default_catalog())
+        monitor.feed_all(trace)
+        online = monitor.finish(trace)
+        assert offline.fired_ids == online.fired_ids
+        assert offline.violations == online.violations
+
+    @settings(max_examples=25, deadline=None)
+    @given(channel=perturbable, segs=segments)
+    def test_evidence_bounded(self, channel, segs):
+        trace = perturbed_trace(channel, segs)
+        report = check_trace(trace, default_catalog())
+        for strength in report.evidence().values():
+            assert 0.0 <= strength <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(channel=perturbable, segs=segments)
+    def test_diagnosis_total_and_normalized(self, channel, segs):
+        trace = perturbed_trace(channel, segs)
+        result = diagnose(check_trace(trace, default_catalog()))
+        assert len(result.ranking) == 13  # every KB cause ranked
+        assert abs(sum(d.posterior for d in result.ranking) - 1.0) < 1e-6
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(segs=segments)
+    def test_check_is_pure(self, segs):
+        trace = perturbed_trace("cte_true", segs)
+        r1 = check_trace(trace, default_catalog())
+        r2 = check_trace(trace, default_catalog())
+        assert r1.fired_ids == r2.fired_ids
+        assert r1.violations == r2.violations

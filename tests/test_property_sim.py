@@ -1,0 +1,102 @@
+"""Property-based tests over the simulation substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.estimator import Ekf
+from repro.sim.actuators import ActuatorLimits, Actuators
+from repro.sim.dynamics import KinematicBicycleModel, VehicleParams, VehicleState
+
+steers = st.floats(min_value=-0.7, max_value=0.7, allow_nan=False)
+accels = st.floats(min_value=-8.0, max_value=5.0, allow_nan=False)
+speeds = st.floats(min_value=0.0, max_value=25.0, allow_nan=False)
+
+
+class TestKinematicInvariants:
+    @settings(max_examples=60)
+    @given(steer=steers, accel=accels, v0=speeds)
+    def test_state_stays_physical(self, steer, accel, v0):
+        model = KinematicBicycleModel()
+        state = VehicleState(v=v0)
+        for _ in range(50):
+            state = model.step(state, steer, accel, 0.05)
+        p = model.params
+        assert 0.0 <= state.v <= p.max_speed
+        assert -math.pi < state.yaw <= math.pi
+        assert abs(state.steer) <= p.max_steer
+        assert -p.max_brake <= state.accel <= p.max_accel
+        assert math.isfinite(state.x) and math.isfinite(state.y)
+
+    @settings(max_examples=40)
+    @given(steer=steers, v0=st.floats(min_value=1.0, max_value=20.0))
+    def test_displacement_bounded_by_speed(self, steer, v0):
+        # No input can move the vehicle farther than max-speed * time.
+        model = KinematicBicycleModel(VehicleParams(drag_coeff=0.0))
+        state = VehicleState(v=v0)
+        steps = 100
+        for _ in range(steps):
+            state = model.step(state, steer, 3.0, 0.05)
+        distance = math.hypot(state.x, state.y)
+        assert distance <= model.params.max_speed * steps * 0.05 + 1e-6
+
+    @settings(max_examples=40)
+    @given(steer=steers, v0=speeds)
+    def test_zero_dt_limit_deterministic(self, steer, v0):
+        model = KinematicBicycleModel()
+        s1 = model.step(VehicleState(v=v0), steer, 1.0, 0.05)
+        s2 = model.step(VehicleState(v=v0), steer, 1.0, 0.05)
+        assert s1 == s2
+
+
+class TestActuatorInvariants:
+    @settings(max_examples=60)
+    @given(commands=st.lists(st.tuples(steers, accels), min_size=1,
+                             max_size=60))
+    def test_outputs_always_within_limits(self, commands):
+        limits = ActuatorLimits()
+        act = Actuators(limits)
+        for steer_cmd, accel_cmd in commands:
+            steer, accel = act.apply(steer_cmd, accel_cmd, 0.05)
+            assert abs(steer) <= limits.steer_max + 1e-12
+            assert -limits.brake_max - 1e-12 <= accel <= limits.accel_max + 1e-12
+
+    @settings(max_examples=40)
+    @given(commands=st.lists(steers, min_size=2, max_size=60))
+    def test_steering_rate_limit_never_exceeded(self, commands):
+        limits = ActuatorLimits()
+        act = Actuators(limits)
+        prev, _ = act.apply(commands[0], 0.0, 0.05)
+        for cmd in commands[1:]:
+            steer, _ = act.apply(cmd, 0.0, 0.05)
+            assert abs(steer - prev) <= limits.steer_rate_max * 0.05 + 1e-9
+            prev = steer
+
+
+class TestEkfInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        measurements=st.lists(
+            st.tuples(
+                st.floats(min_value=-5, max_value=5, allow_nan=False),
+                st.floats(min_value=-5, max_value=5, allow_nan=False),
+            ),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_covariance_positive_definite_under_any_measurements(self,
+                                                                 measurements):
+        import numpy as np
+
+        ekf = Ekf()
+        ekf.reset(0.0, 0.0, 0.0, 5.0)
+        for gx, gy in measurements:
+            ekf.predict(0.0, 0.0, 0.05)
+            ekf.update_gps(gx, gy)
+        p = ekf.covariance
+        assert np.allclose(p, p.T, atol=1e-9)
+        assert np.all(np.linalg.eigvalsh(p) > 0)
+        est = ekf.estimate
+        assert est.v >= 0.0
+        assert -math.pi < est.yaw <= math.pi

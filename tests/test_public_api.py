@@ -1,0 +1,56 @@
+"""Public-API surface checks: every exported name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.geom",
+    "repro.sim",
+    "repro.sim.sensors",
+    "repro.carla_lite",
+    "repro.control",
+    "repro.attacks",
+    "repro.trace",
+    "repro.core",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{package} has no __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_exports(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert len(exported) == len(set(exported))
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_quickstart_docstring_names_exist():
+    """The package docstring's quickstart must reference real symbols."""
+    import repro
+    import repro.core
+
+    doc = repro.__doc__
+    for name in ("run_scenario", "standard_scenarios", "standard_attack"):
+        assert name in doc
+        assert hasattr(repro, name)
+    for name in ("default_catalog", "check_trace", "diagnose"):
+        assert name in doc
+        assert hasattr(repro.core, name)

@@ -1,0 +1,71 @@
+"""Tests for repro.sim.actuators."""
+
+import pytest
+
+from repro.sim.actuators import ActuatorLimits, Actuators
+
+
+class TestActuatorLimits:
+    def test_defaults(self):
+        ActuatorLimits()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ActuatorLimits(steer_max=0.0)
+        with pytest.raises(ValueError):
+            ActuatorLimits(steer_tau=-0.1)
+
+
+class TestActuators:
+    def test_ideal_actuator_is_instant(self):
+        act = Actuators(ActuatorLimits(steer_tau=0.0, accel_tau=0.0,
+                                       steer_rate_max=100.0))
+        steer, accel = act.apply(0.3, 1.5, 0.05)
+        assert steer == pytest.approx(0.3)
+        assert accel == pytest.approx(1.5)
+
+    def test_lag_approaches_command(self):
+        act = Actuators(ActuatorLimits(steer_tau=0.15, steer_rate_max=10.0))
+        for _ in range(200):
+            steer, _ = act.apply(0.3, 0.0, 0.05)
+        assert steer == pytest.approx(0.3, abs=1e-3)
+
+    def test_lag_is_gradual(self):
+        act = Actuators(ActuatorLimits(steer_tau=0.2, steer_rate_max=10.0))
+        steer, _ = act.apply(0.3, 0.0, 0.05)
+        assert 0.0 < steer < 0.3
+
+    def test_rate_limit(self):
+        act = Actuators(ActuatorLimits(steer_tau=0.0, steer_rate_max=0.5))
+        steer, _ = act.apply(0.6, 0.0, 0.05)
+        assert steer == pytest.approx(0.025)  # 0.5 rad/s * 0.05 s
+
+    def test_saturation(self):
+        act = Actuators(ActuatorLimits(steer_max=0.5, steer_tau=0.0,
+                                       steer_rate_max=100.0))
+        steer, _ = act.apply(2.0, 0.0, 0.05)
+        assert steer == pytest.approx(0.5)
+
+    def test_brake_and_accel_saturation(self):
+        act = Actuators(ActuatorLimits(accel_max=3.0, brake_max=6.0,
+                                       accel_tau=0.0))
+        __, accel = act.apply(0.0, 10.0, 0.05)
+        assert accel == pytest.approx(3.0)
+        __, accel = act.apply(0.0, -20.0, 0.05)
+        assert accel == pytest.approx(-6.0)
+
+    def test_reset(self):
+        act = Actuators()
+        act.apply(0.3, 2.0, 0.5)
+        act.reset()
+        assert act.steer == 0.0
+        assert act.accel == 0.0
+
+    def test_reset_clamps(self):
+        act = Actuators(ActuatorLimits(steer_max=0.5))
+        act.reset(steer=2.0)
+        assert act.steer == pytest.approx(0.5)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            Actuators().apply(0.0, 0.0, 0.0)

@@ -1,0 +1,154 @@
+"""Tests for repro.sim.dynamics: bicycle models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.dynamics import (
+    DynamicBicycleModel,
+    KinematicBicycleModel,
+    VehicleParams,
+    VehicleState,
+)
+
+
+def roll(model, state, steer, accel, dt, steps):
+    for _ in range(steps):
+        state = model.step(state, steer, accel, dt)
+    return state
+
+
+class TestVehicleParams:
+    def test_defaults_valid(self):
+        VehicleParams()
+
+    def test_inconsistent_axles_rejected(self):
+        with pytest.raises(ValueError):
+            VehicleParams(lf=2.0, lr=2.0, wheelbase=2.7)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            VehicleParams(mass=-1.0)
+        with pytest.raises(ValueError):
+            VehicleParams(max_steer=0.0)
+
+
+class TestKinematicModel:
+    def test_straight_line(self):
+        model = KinematicBicycleModel(VehicleParams(drag_coeff=0.0))
+        state = roll(model, VehicleState(v=10.0), 0.0, 0.0, 0.05, 100)
+        assert state.x == pytest.approx(50.0, rel=1e-6)
+        assert state.y == pytest.approx(0.0, abs=1e-9)
+        assert state.yaw == pytest.approx(0.0, abs=1e-12)
+
+    def test_acceleration_from_rest(self):
+        model = KinematicBicycleModel(VehicleParams(drag_coeff=0.0))
+        state = roll(model, VehicleState(), 0.0, 2.0, 0.01, 100)
+        assert state.v == pytest.approx(2.0, rel=1e-6)
+        # x = 0.5 a t^2 (midpoint integration is exact for constant accel)
+        assert state.x == pytest.approx(1.0, rel=1e-3)
+
+    def test_turn_radius_matches_geometry(self):
+        params = VehicleParams(drag_coeff=0.0)
+        model = KinematicBicycleModel(params)
+        steer = 0.2
+        expected_radius = params.wheelbase / math.tan(steer)
+        v = 5.0
+        state = VehicleState(v=v)
+        # Drive a quarter of the circle and check the chord.
+        quarter_time = (math.pi / 2) * expected_radius / v
+        steps = int(quarter_time / 0.005)
+        state = roll(model, state, steer, 0.0, 0.005, steps)
+        assert state.x == pytest.approx(expected_radius, rel=0.02)
+        assert state.y == pytest.approx(expected_radius, rel=0.02)
+
+    def test_speed_never_negative(self):
+        model = KinematicBicycleModel()
+        state = roll(model, VehicleState(v=1.0), 0.0, -6.0, 0.05, 50)
+        assert state.v == 0.0
+
+    def test_speed_capped(self):
+        params = VehicleParams(max_speed=15.0, drag_coeff=0.0)
+        model = KinematicBicycleModel(params)
+        state = roll(model, VehicleState(v=14.0), 0.0, 3.0, 0.05, 100)
+        assert state.v == pytest.approx(15.0)
+
+    def test_inputs_clamped(self):
+        params = VehicleParams()
+        model = KinematicBicycleModel(params)
+        state = model.step(VehicleState(v=5.0), 10.0, 100.0, 0.05)
+        assert state.steer == pytest.approx(params.max_steer)
+        assert state.accel == pytest.approx(params.max_accel)
+
+    def test_drag_decays_speed(self):
+        model = KinematicBicycleModel(VehicleParams(drag_coeff=0.05))
+        state = roll(model, VehicleState(v=10.0), 0.0, 0.0, 0.05, 200)
+        assert 0.0 < state.v < 10.0
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            KinematicBicycleModel().step(VehicleState(), 0.0, 0.0, 0.0)
+
+    @settings(max_examples=30)
+    @given(
+        steer=st.floats(min_value=-0.5, max_value=0.5, allow_nan=False),
+        v=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    )
+    def test_yaw_always_normalized(self, steer, v):
+        model = KinematicBicycleModel()
+        state = roll(model, VehicleState(v=v), steer, 0.0, 0.05, 200)
+        assert -math.pi < state.yaw <= math.pi
+
+
+class TestDynamicModel:
+    def test_low_speed_blends_to_kinematic(self):
+        params = VehicleParams(drag_coeff=0.0)
+        dyn = DynamicBicycleModel(params, blend_speed=3.0)
+        kin = KinematicBicycleModel(params)
+        s0 = VehicleState(v=1.0)
+        a = dyn.step(s0, 0.1, 0.5, 0.05)
+        b = kin.step(s0, 0.1, 0.5, 0.05)
+        assert a == b
+
+    def test_steady_state_turn_close_to_kinematic(self):
+        # At moderate speed / curvature the dynamic model converges to a
+        # steady yaw rate near the kinematic prediction.
+        params = VehicleParams(drag_coeff=0.0)
+        dyn = DynamicBicycleModel(params)
+        steer = 0.05
+        v = 12.0
+        state = VehicleState(v=v)
+        state = roll(dyn, state, steer, 0.0, 0.01, 500)
+        kin_yaw_rate = v * math.tan(steer) / params.wheelbase
+        assert state.yaw_rate == pytest.approx(kin_yaw_rate, rel=0.25)
+
+    def test_develops_lateral_velocity_in_turn(self):
+        dyn = DynamicBicycleModel(VehicleParams(drag_coeff=0.0))
+        state = roll(dyn, VehicleState(v=15.0), 0.08, 0.0, 0.01, 200)
+        assert state.vy != 0.0
+
+    def test_invalid_blend_speed(self):
+        with pytest.raises(ValueError):
+            DynamicBicycleModel(blend_speed=0.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            DynamicBicycleModel().step(VehicleState(v=5.0), 0.0, 0.0, -0.1)
+
+
+class TestVehicleState:
+    def test_pose_and_helpers(self):
+        s = VehicleState(x=1.0, y=2.0, yaw=0.5, v=3.0, yaw_rate=0.2)
+        assert s.pose.x == 1.0
+        assert s.position.y == 2.0
+        assert s.lateral_accel == pytest.approx(0.6)
+
+    def test_speed_includes_lateral(self):
+        s = VehicleState(v=3.0, vy=4.0)
+        assert s.speed == pytest.approx(5.0)
+
+    def test_with_pose_normalizes(self):
+        s = VehicleState().with_pose(0.0, 0.0, 3 * math.pi)
+        assert s.yaw == pytest.approx(math.pi)

@@ -1,0 +1,151 @@
+"""Tests for repro.sim.engine and scenario plumbing."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import standard_attack
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import Scenario, standard_scenarios
+from repro.geom.routes import straight_route
+
+from conftest import short_scenario
+
+
+class TestScenario:
+    def test_standard_scenarios_complete(self):
+        scenarios = standard_scenarios()
+        assert set(scenarios) == {
+            "straight", "curve", "s_curve", "lane_change", "slalom",
+            "urban_loop",
+        }
+
+    def test_duration_override(self):
+        scenarios = standard_scenarios(duration=12.0)
+        assert all(s.duration == 12.0 for s in scenarios.values())
+
+    def test_num_steps(self):
+        s = Scenario(name="x", route=straight_route(100.0), duration=10.0,
+                     dt=0.05)
+        assert s.num_steps == 200
+
+    def test_validation(self):
+        route = straight_route(100.0)
+        with pytest.raises(ValueError):
+            Scenario(name="x", route=route, cruise_speed=0.0)
+        with pytest.raises(ValueError):
+            Scenario(name="x", route=route, dt=0.5)
+
+    def test_with_seed(self):
+        s = standard_scenarios(seed=1)["straight"].with_seed(99)
+        assert s.seed == 99
+
+
+class TestNominalRun:
+    def test_completes_and_reaches_goal(self, nominal_run):
+        assert nominal_run.outcome.completed
+        assert not nominal_run.outcome.diverged
+        assert nominal_run.metrics.goal_reached
+        assert nominal_run.metrics.max_abs_cte < 1.0
+
+    def test_trace_length_matches_steps(self, nominal_run):
+        assert len(nominal_run.trace) == nominal_run.scenario.num_steps
+
+    def test_trace_meta_populated(self, nominal_run):
+        meta = nominal_run.trace.meta
+        assert meta.scenario == "s_curve"
+        assert meta.controller == "pure_pursuit"
+        assert meta.attack == "none"
+        assert meta.route_length > 0
+
+    def test_no_attack_labels(self, nominal_run):
+        assert nominal_run.trace.attack_onset() is None
+
+    def test_estimate_tracks_truth(self, nominal_run):
+        tr = nominal_run.trace
+        err = np.hypot(tr.column("est_x") - tr.column("true_x"),
+                       tr.column("est_y") - tr.column("true_y"))
+        # After convergence the EKF position error stays sub-meter.
+        t = tr.times()
+        assert float(np.mean(err[t > 5.0])) < 0.6
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trace(self):
+        sc = short_scenario(duration=10.0)
+        a = run_scenario(sc, controller="pure_pursuit")
+        b = run_scenario(sc, controller="pure_pursuit")
+        assert len(a.trace) == len(b.trace)
+        for ra, rb in zip(a.trace, b.trace):
+            assert ra == rb
+
+    def test_different_seed_differs(self):
+        a = run_scenario(short_scenario(seed=1, duration=10.0))
+        b = run_scenario(short_scenario(seed=2, duration=10.0))
+        assert any(ra != rb for ra, rb in zip(a.trace, b.trace))
+
+    def test_attack_does_not_change_sensor_noise_before_onset(self):
+        # Stream independence: the pre-onset prefix of an attacked run is
+        # bit-identical to the nominal run.
+        sc = short_scenario(duration=12.0)
+        nominal = run_scenario(sc, controller="pure_pursuit")
+        attacked = run_scenario(
+            sc, controller="pure_pursuit",
+            campaign=standard_attack("gps_bias", onset=10.0),
+        )
+        for ra, rb in zip(nominal.trace, attacked.trace):
+            if ra.t >= 10.0:
+                break
+            assert ra == rb
+
+
+class TestAttackedRun:
+    def test_attack_labels_from_onset(self, gps_bias_run):
+        tr = gps_bias_run.trace
+        assert tr.attack_onset() == pytest.approx(15.0, abs=0.06)
+        last = tr[len(tr) - 1]
+        assert last.attack_active
+        assert last.attack_name == "gps_bias"
+        assert last.attack_channel == "gps"
+
+    def test_gps_channel_offset_applied(self, gps_bias_run):
+        tr = gps_bias_run.trace
+        post = tr.window(20.0, 30.0)
+        offset = np.mean(post.column("gps_y") - post.column("true_y"))
+        assert offset == pytest.approx(4.0, abs=0.5)
+
+    def test_behavioural_damage(self, gps_bias_run):
+        # The controller chases the spoofed position: the vehicle is
+        # displaced by roughly the spoof magnitude.
+        assert gps_bias_run.metrics.max_abs_cte > 2.0
+
+
+class TestDivergence:
+    def test_freeze_attack_diverges_or_degrades(self):
+        sc = short_scenario("s_curve", duration=45.0)
+        res = run_scenario(sc, controller="pure_pursuit",
+                           campaign=standard_attack("gps_freeze", onset=10.0))
+        assert res.metrics.max_abs_cte > 3.0
+
+    def test_divergence_flag_consistent(self):
+        sc = short_scenario("s_curve", duration=45.0)
+        res = run_scenario(sc, controller="pure_pursuit",
+                           campaign=standard_attack("gps_freeze", onset=10.0))
+        diverged = res.outcome.diverged
+        max_cte = res.metrics.max_abs_cte
+        assert diverged == (max_cte > 30.0)
+        if diverged:
+            assert res.outcome.divergence_time is not None
+
+
+class TestInitialOffset:
+    def test_controller_converges_from_offset(self):
+        sc = dataclasses.replace(short_scenario("straight", duration=25.0),
+                                 initial_lateral_offset=2.0)
+        res = run_scenario(sc, controller="pure_pursuit")
+        tr = res.trace
+        t = tr.times()
+        cte = np.abs(tr.column("cte_true"))
+        assert cte[0] == pytest.approx(2.0, abs=0.2)
+        assert float(np.mean(cte[t > 15.0])) < 0.5

@@ -1,0 +1,213 @@
+"""Tests for the car-following substrate: lead vehicle, radar, ACC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import standard_attack
+from repro.control.acc import AccConfig, AccController
+from repro.geom.routes import straight_route, urban_loop_route
+from repro.sim.engine import run_scenario
+from repro.sim.lead import LeadSpeedEvent, LeadVehicle, LeadVehicleConfig
+from repro.sim.rng import RngStreams
+from repro.sim.scenario import acc_scenario
+from repro.sim.sensors.radar import Radar, RadarConfig
+
+
+def radar(config=None):
+    return Radar(config or RadarConfig(), RngStreams(3).stream("radar"))
+
+
+class TestLeadVehicleConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeadVehicleConfig(initial_gap=0.0)
+        with pytest.raises(ValueError):
+            LeadVehicleConfig(accel_lag=0.0)
+        with pytest.raises(ValueError):
+            LeadVehicleConfig(events=(LeadSpeedEvent(10.0, 5.0),
+                                      LeadSpeedEvent(5.0, 8.0)))
+
+    def test_slowdown_preset(self):
+        config = LeadVehicleConfig.slowdown(slow_at=18.0, resume_at=32.0)
+        assert len(config.events) == 2
+        assert config.events[0].speed < config.initial_speed
+
+
+class TestLeadVehicle:
+    def test_constant_speed_advance(self):
+        lead = LeadVehicle(LeadVehicleConfig(initial_gap=40.0,
+                                             initial_speed=10.0), 0.0)
+        for i in range(100):
+            lead.step(i * 0.05, 0.05)
+        assert lead.station == pytest.approx(40.0 + 10.0 * 5.0, rel=0.01)
+
+    def test_speed_event_tracked_with_lag(self):
+        config = LeadVehicleConfig(
+            initial_gap=40.0, initial_speed=10.0,
+            events=(LeadSpeedEvent(1.0, 4.0),), accel_lag=0.5,
+        )
+        lead = LeadVehicle(config, 0.0)
+        for i in range(200):  # 10 s
+            lead.step(i * 0.05, 0.05)
+        assert lead.speed == pytest.approx(4.0, abs=0.05)
+
+    def test_gap_wraps_on_closed_routes(self):
+        lead = LeadVehicle(LeadVehicleConfig(initial_gap=30.0), 0.0)
+        gap = lead.gap_to(ego_station=350.0, route_length=369.0, closed=True)
+        assert 0.0 <= gap < 369.0
+
+    def test_position_beyond_open_route_extrapolates(self):
+        route = straight_route(100.0)
+        lead = LeadVehicle(LeadVehicleConfig(initial_gap=50.0,
+                                             initial_speed=10.0), 80.0)
+        for i in range(100):  # lead passes 100 m
+            lead.step(i * 0.05, 0.05)
+        pos = lead.position_on(route)
+        assert pos.x > 100.0
+        assert pos.y == pytest.approx(0.0, abs=1e-9)
+        vel = lead.velocity_on(route)
+        assert vel.x == pytest.approx(10.0, rel=0.01)
+
+    def test_position_on_loop_wraps(self):
+        route = urban_loop_route()
+        lead = LeadVehicle(LeadVehicleConfig(initial_gap=10.0,
+                                             initial_speed=8.0), 0.0)
+        for i in range(2000):  # several laps
+            lead.step(i * 0.05, 0.05)
+        pos = lead.position_on(route)
+        proj = route.project(pos)
+        assert proj.distance < 0.5
+
+    def test_rejects_bad_dt(self):
+        lead = LeadVehicle(LeadVehicleConfig(), 0.0)
+        with pytest.raises(ValueError):
+            lead.step(0.0, 0.0)
+
+
+class TestRadar:
+    def test_rate_schedule(self):
+        r = radar(RadarConfig(rate_hz=20.0, range_noise_std=0.0,
+                              rate_noise_std=0.0))
+        readings = [r.poll_gap(i * 0.05, 30.0, -2.0) for i in range(100)]
+        fresh = [x for x in readings if x is not None]
+        assert len(fresh) == 100  # 20 Hz radar at 20 Hz polling
+
+    def test_noiseless_exact(self):
+        r = radar(RadarConfig(range_noise_std=0.0, rate_noise_std=0.0))
+        reading = r.poll_gap(0.0, 42.0, -3.0)
+        assert reading.range_m == 42.0
+        assert reading.range_rate == -3.0
+
+    def test_out_of_range_suppressed(self):
+        r = radar(RadarConfig(max_range=100.0))
+        assert r.poll_gap(0.0, 150.0, 0.0) is None
+        assert r.poll_gap(0.05, -1.0, 0.0) is None
+
+    def test_range_never_negative(self):
+        r = radar(RadarConfig(range_noise_std=5.0))
+        readings = [r.poll_gap(i * 0.05, 0.5, 0.0) for i in range(200)]
+        assert all(x.range_m >= 0.0 for x in readings if x is not None)
+
+    def test_reading_mutators(self):
+        r = radar(RadarConfig(range_noise_std=0.0, rate_noise_std=0.0))
+        reading = r.poll_gap(0.0, 30.0, -2.0)
+        assert reading.with_range(10.0).range_m == 10.0
+        assert reading.with_range(-5.0).range_m == 0.0
+        assert reading.with_range_rate(1.0).range_rate == 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RadarConfig(range_noise_std=-1.0)
+        with pytest.raises(ValueError):
+            RadarConfig(max_range=0.0)
+
+
+class TestAccController:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AccConfig(time_gap=0.0)
+        with pytest.raises(ValueError):
+            AccConfig(k_gap=0.0)
+
+    def test_desired_gap(self):
+        acc = AccController(AccConfig(time_gap=1.5, standstill_gap=5.0))
+        assert acc.desired_gap(10.0) == pytest.approx(20.0)
+
+    def test_brakes_when_too_close(self):
+        acc = AccController()
+        accel = acc.compute_accel(range_m=8.0, range_rate=-3.0, ego_speed=10.0)
+        assert accel < 0.0
+
+    def test_accelerates_when_far(self):
+        acc = AccController()
+        accel = acc.compute_accel(range_m=80.0, range_rate=0.0, ego_speed=10.0)
+        assert accel > 0.0
+
+    def test_authority_limits(self):
+        acc = AccController(AccConfig(accel_max=2.0, brake_max=6.0))
+        assert acc.compute_accel(500.0, 10.0, 0.0) == 2.0
+        assert acc.compute_accel(0.5, -20.0, 20.0) == -6.0
+
+
+class TestClosedLoopFollowing:
+    def test_nominal_following_is_safe_and_clean(self):
+        result = run_scenario(acc_scenario(seed=7))
+        gap = result.trace.column("gap_true")
+        assert float(np.min(gap)) > 5.0
+        assert result.metrics.goal_reached
+
+    def test_ego_slows_with_lead(self):
+        result = run_scenario(acc_scenario(seed=7))
+        tr = result.trace
+        t = tr.times()
+        v = tr.column("true_v")
+        # During the lead's slow phase the ego must drop well below cruise.
+        slow_phase = (t > 24.0) & (t < 32.0)
+        assert float(np.mean(v[slow_phase])) < 7.0
+
+    def test_radar_channels_recorded(self):
+        result = run_scenario(acc_scenario(seed=7))
+        tr = result.trace
+        assert tr.column("radar_fresh").sum() > 100
+        assert tr.column("lead_present").all()
+        mid = tr.window(10.0, 12.0)
+        # Reported range tracks the true gap within noise.
+        err = np.abs(mid.column("radar_range") - mid.column("gap_true"))
+        assert float(np.median(err)) < 0.5
+
+    def test_no_lead_means_no_radar_channels(self, nominal_run):
+        tr = nominal_run.trace
+        assert not tr.column("lead_present").any()
+        assert not tr.column("radar_fresh").any()
+
+    def test_blind_attack_erodes_gap(self):
+        result = run_scenario(
+            acc_scenario(seed=7),
+            campaign=standard_attack("radar_blind", onset=15.0),
+        )
+        assert float(np.min(result.trace.column("gap_true"))) < 2.0
+
+    def test_scale_attack_breaks_headway(self):
+        result = run_scenario(
+            acc_scenario(seed=7),
+            campaign=standard_attack("radar_scale", onset=15.0),
+        )
+        tr = result.trace
+        gap = tr.column("gap_true")
+        v = tr.column("true_v")
+        moving = v > 2.0
+        assert float(np.min(gap[moving] / v[moving])) < 1.0
+
+    def test_ghost_attack_increases_real_gap(self):
+        nominal = run_scenario(acc_scenario(seed=7))
+        ghosted = run_scenario(
+            acc_scenario(seed=7),
+            campaign=standard_attack("radar_ghost", onset=15.0),
+        )
+        t = nominal.trace.times()
+        post = t > 20.0
+        gap_nom = nominal.trace.column("gap_true")[post]
+        gap_ghost = ghosted.trace.column("gap_true")[post]
+        assert float(np.mean(gap_ghost)) > float(np.mean(gap_nom)) + 3.0

@@ -1,0 +1,161 @@
+"""Tests for repro.sim.sensors: schedules, noise models, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dynamics import VehicleState
+from repro.sim.rng import RngStreams
+from repro.sim.sensors.base import SensorConfig
+from repro.sim.sensors.compass import Compass, CompassConfig
+from repro.sim.sensors.gps import Gps, GpsConfig
+from repro.sim.sensors.imu import Imu, ImuConfig
+from repro.sim.sensors.odometry import Odometry, OdometryConfig
+from repro.sim.sensors.suite import SensorSuite, SensorSuiteConfig
+
+STATE = VehicleState(x=10.0, y=-5.0, yaw=0.3, v=8.0, yaw_rate=0.1, accel=0.5)
+
+
+def rng():
+    return RngStreams(3).stream("test")
+
+
+class TestSensorConfig:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SensorConfig(rate_hz=0.0)
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ValueError):
+            SensorConfig(rate_hz=10.0, dropout_prob=1.0)
+
+    def test_period(self):
+        assert SensorConfig(rate_hz=20.0).period == pytest.approx(0.05)
+
+
+class TestSchedule:
+    def test_rate_respected(self):
+        gps = Gps(GpsConfig(rate_hz=10.0, noise_std=0.0, walk_std=0.0), rng())
+        readings = [gps.poll(i * 0.05, STATE) for i in range(100)]  # 5 s at 20 Hz
+        fresh = [r for r in readings if r is not None]
+        assert len(fresh) == 50  # 10 Hz over 5 s
+
+    def test_first_sample_at_zero(self):
+        gps = Gps(GpsConfig(noise_std=0.0, walk_std=0.0), rng())
+        assert gps.poll(0.0, STATE) is not None
+
+    def test_reset_restarts_schedule(self):
+        gps = Gps(GpsConfig(noise_std=0.0, walk_std=0.0), rng())
+        gps.poll(0.0, STATE)
+        gps.reset()
+        assert gps.poll(0.0, STATE) is not None
+
+    def test_dropout(self):
+        config = GpsConfig(rate_hz=10.0, dropout_prob=0.5, noise_std=0.0,
+                           walk_std=0.0)
+        gps = Gps(config, rng())
+        fresh = sum(gps.poll(i * 0.1, STATE) is not None for i in range(1000))
+        assert 400 < fresh < 600
+
+
+class TestGps:
+    def test_noiseless_exact(self):
+        gps = Gps(GpsConfig(noise_std=0.0, walk_std=0.0), rng())
+        fix = gps.poll(0.0, STATE)
+        assert fix.x == pytest.approx(STATE.x)
+        assert fix.y == pytest.approx(STATE.y)
+
+    def test_noise_spread(self):
+        gps = Gps(GpsConfig(rate_hz=100.0, noise_std=0.5, walk_std=0.0), rng())
+        xs = [gps.poll(i * 0.01, STATE).x for i in range(2000)]
+        assert np.std(xs) == pytest.approx(0.5, rel=0.15)
+
+    def test_offset_helper(self):
+        fix = Gps(GpsConfig(noise_std=0.0, walk_std=0.0), rng()).poll(0.0, STATE)
+        shifted = fix.offset(1.0, -2.0)
+        assert shifted.x == fix.x + 1.0
+        assert shifted.y == fix.y - 2.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            GpsConfig(noise_std=-1.0)
+
+
+class TestImu:
+    def test_noiseless_biasless_exact(self):
+        config = ImuConfig(gyro_noise_std=0.0, gyro_bias_std=0.0,
+                           accel_noise_std=0.0, accel_bias_std=0.0)
+        imu = Imu(config, rng())
+        reading = imu.poll(0.0, STATE)
+        assert reading.yaw_rate == pytest.approx(STATE.yaw_rate)
+        assert reading.accel == pytest.approx(STATE.accel)
+
+    def test_bias_constant_within_run(self):
+        config = ImuConfig(gyro_noise_std=0.0, gyro_bias_std=0.01,
+                           accel_noise_std=0.0, accel_bias_std=0.0,
+                           rate_hz=100.0)
+        imu = Imu(config, rng())
+        r1 = imu.poll(0.0, STATE)
+        r2 = imu.poll(0.01, STATE)
+        assert r1.yaw_rate == pytest.approx(r2.yaw_rate)
+        assert imu.gyro_bias != 0.0
+
+    def test_reading_mutators(self):
+        imu = Imu(ImuConfig(), rng())
+        reading = imu.poll(0.0, STATE)
+        assert reading.with_yaw_rate(9.0).yaw_rate == 9.0
+        assert reading.with_accel(-1.0).accel == -1.0
+
+
+class TestOdometry:
+    def test_noiseless_exact(self):
+        odo = Odometry(OdometryConfig(noise_std=0.0, scale_error_std=0.0), rng())
+        assert odo.poll(0.0, STATE).speed == pytest.approx(STATE.v)
+
+    def test_never_negative(self):
+        odo = Odometry(OdometryConfig(rate_hz=100.0, noise_std=5.0,
+                                      scale_error_std=0.0), rng())
+        slow = VehicleState(v=0.1)
+        speeds = [odo.poll(i * 0.01, slow).speed for i in range(500)]
+        assert min(speeds) >= 0.0
+
+    def test_scaled_helper(self):
+        odo = Odometry(OdometryConfig(noise_std=0.0, scale_error_std=0.0), rng())
+        reading = odo.poll(0.0, STATE)
+        assert reading.scaled(0.5).speed == pytest.approx(STATE.v * 0.5)
+
+
+class TestCompass:
+    def test_noiseless_exact(self):
+        compass = Compass(CompassConfig(noise_std=0.0), rng())
+        assert compass.poll(0.0, STATE).yaw == pytest.approx(STATE.yaw)
+
+    def test_rotated_wraps(self):
+        compass = Compass(CompassConfig(noise_std=0.0), rng())
+        reading = compass.poll(0.0, VehicleState(yaw=3.0))
+        rotated = reading.rotated(0.5)
+        assert -np.pi < rotated.yaw <= np.pi
+
+
+class TestSuite:
+    def test_poll_all_channels_at_t0(self):
+        suite = SensorSuite(SensorSuiteConfig.noiseless(), RngStreams(5))
+        readings = suite.poll(0.0, STATE)
+        assert readings.gps is not None
+        assert readings.imu is not None
+        assert readings.odometry is not None
+        assert readings.compass is not None
+        assert readings.any_fresh()
+
+    def test_determinism_across_instances(self):
+        a = SensorSuite(SensorSuiteConfig(), RngStreams(5))
+        b = SensorSuite(SensorSuiteConfig(), RngStreams(5))
+        ra = a.poll(0.0, STATE)
+        rb = b.poll(0.0, STATE)
+        assert ra.gps.x == rb.gps.x
+        assert ra.imu.yaw_rate == rb.imu.yaw_rate
+
+    def test_reset(self):
+        suite = SensorSuite(SensorSuiteConfig.noiseless(), RngStreams(5))
+        suite.poll(0.0, STATE)
+        suite.reset()
+        assert suite.poll(0.0, STATE).any_fresh()

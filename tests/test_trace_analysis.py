@@ -1,0 +1,143 @@
+"""Tests for repro.trace.analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.analysis import (
+    first_crossing,
+    max_abs,
+    moving_average,
+    rms,
+    settling_time,
+    sign_change_rate,
+    sliding_windows,
+)
+
+signal_lists = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1,
+    max_size=60,
+)
+
+
+class TestMovingAverage:
+    def test_constant_signal(self):
+        out = moving_average([3.0] * 10, window=4)
+        assert np.allclose(out, 3.0)
+
+    def test_warmup_ramp(self):
+        out = moving_average([1.0, 2.0, 3.0, 4.0], window=3)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(1.5)
+        assert out[2] == pytest.approx(2.0)
+        assert out[3] == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert moving_average([], window=3).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
+
+    @given(signal_lists)
+    def test_window_one_is_identity(self, xs):
+        assert np.allclose(moving_average(xs, 1), xs)
+
+    @given(signal_lists)
+    def test_bounded_by_signal_range(self, xs):
+        out = moving_average(xs, window=5)
+        assert out.min() >= min(xs) - 1e-9
+        assert out.max() <= max(xs) + 1e-9
+
+
+class TestSlidingWindows:
+    def test_count_and_content(self):
+        ws = list(sliding_windows([1, 2, 3, 4, 5], window=3))
+        assert len(ws) == 3
+        assert list(ws[0]) == [1, 2, 3]
+        assert list(ws[-1]) == [3, 4, 5]
+
+    def test_step(self):
+        ws = list(sliding_windows(list(range(10)), window=4, step=3))
+        assert [w[0] for w in ws] == [0, 3, 6]
+
+    def test_too_short(self):
+        assert list(sliding_windows([1, 2], window=5)) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows([1], window=0))
+
+
+class TestSignChangeRate:
+    def test_alternating(self):
+        x = [1, -1] * 10
+        rate = sign_change_rate(x, dt=0.1)
+        assert rate == pytest.approx(19 / 2.0)
+
+    def test_deadband_filters_dither(self):
+        x = [0.05, -0.05] * 10
+        assert sign_change_rate(x, dt=0.1, deadband=0.1) == 0.0
+
+    def test_constant_zero(self):
+        assert sign_change_rate([5.0] * 10, dt=0.1) == 0.0
+
+    def test_short_signal(self):
+        assert sign_change_rate([1.0], dt=0.1) == 0.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            sign_change_rate([1, -1], dt=0.0)
+
+
+class TestFirstCrossing:
+    def test_index_mode(self):
+        assert first_crossing([0.1, 0.2, 5.0, 0.1], threshold=1.0) == 2.0
+
+    def test_time_mode(self):
+        t = [0.0, 0.5, 1.0, 1.5]
+        assert first_crossing([0, 0, -3, 0], 1.0, times=t) == 1.0
+
+    def test_none_when_never(self):
+        assert first_crossing([0.1, 0.2], 1.0) is None
+
+
+class TestRmsMaxAbs:
+    def test_rms(self):
+        assert rms([3.0, -4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_empty(self):
+        assert rms([]) == 0.0
+        assert max_abs([]) == 0.0
+
+    def test_max_abs(self):
+        assert max_abs([1.0, -7.0, 3.0]) == 7.0
+
+    @given(signal_lists)
+    def test_rms_le_max_abs(self, xs):
+        assert rms(xs) <= max_abs(xs) + 1e-9
+
+
+class TestSettlingTime:
+    def test_settles(self):
+        t = np.arange(10) * 0.1
+        x = np.array([5, 4, 3, 2, 0.5, 0.2, 0.1, 0.1, 0.05, 0.01])
+        assert settling_time(x, t, band=1.0) == pytest.approx(0.4)
+
+    def test_never_settles(self):
+        t = np.arange(5) * 0.1
+        x = np.array([0, 0, 0, 0, 9.0])
+        assert settling_time(x, t, band=1.0) is None
+
+    def test_always_inside(self):
+        t = np.arange(5) * 0.1
+        x = np.zeros(5)
+        assert settling_time(x, t, band=1.0) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            settling_time([1.0], [1.0, 2.0], band=0.5)
+
+    def test_empty(self):
+        assert settling_time([], [], band=1.0) is None

@@ -1,0 +1,89 @@
+"""Tests for repro.trace.diff."""
+
+import pytest
+
+from repro.attacks.campaign import standard_attack
+from repro.sim.engine import run_scenario
+from repro.trace.diff import diff_traces
+from repro.trace.schema import Trace
+
+from conftest import make_trace, short_scenario
+
+
+class TestDiffValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            diff_traces(Trace(), make_trace(10))
+
+    def test_dt_mismatch_rejected(self):
+        a = make_trace(10)
+        b = make_trace(10)
+        b.meta.dt = 0.1
+        with pytest.raises(ValueError, match="time steps"):
+            diff_traces(a, b)
+
+    def test_unknown_channel_needs_tolerance(self):
+        a, b = make_trace(10), make_trace(10)
+        with pytest.raises(ValueError, match="tolerance"):
+            diff_traces(a, b, channels=["gps_fresh"])
+        # ... but works once a tolerance is supplied.
+        diff = diff_traces(a, b, channels=["gps_fresh"],
+                           tolerances={"gps_fresh": 0.5})
+        assert not diff.divergences
+
+
+class TestDiffSynthetic:
+    def test_identical_traces_equivalent(self):
+        a, b = make_trace(100), make_trace(100)
+        diff = diff_traces(a, b)
+        assert diff.divergences == []
+        assert diff.first_channel is None
+        assert "equivalent" in diff.render()
+
+    def test_single_channel_divergence_located(self):
+        a = make_trace(100)
+        b = make_trace(100, mutate=lambda s, r: (
+            r.replace(gps_y=3.0) if s >= 40 else r))
+        diff = diff_traces(a, b)
+        assert diff.first_channel == "gps_y"
+        d = diff.divergences[0]
+        assert d.t_first == pytest.approx(40 * 0.05)
+        assert d.max_abs_diff == pytest.approx(3.0)
+
+    def test_divergences_time_ordered(self):
+        def mutate(s, r):
+            if s >= 60:
+                r = r.replace(steer_cmd=0.3)
+            if s >= 30:
+                r = r.replace(gps_y=5.0)
+            return r
+
+        diff = diff_traces(make_trace(100), make_trace(100, mutate=mutate))
+        channels = [d.channel for d in diff.divergences]
+        assert channels.index("gps_y") < channels.index("steer_cmd")
+
+    def test_common_prefix_only(self):
+        diff = diff_traces(make_trace(50), make_trace(100))
+        assert diff.duration_compared == pytest.approx(49 * 0.05)
+
+    def test_render_lists_channels(self):
+        b = make_trace(100, mutate=lambda s, r: (
+            r.replace(gps_y=3.0) if s >= 40 else r))
+        text = diff_traces(make_trace(100), b).render()
+        assert "gps_y" in text
+
+
+class TestDiffRealRuns:
+    def test_attack_diff_starts_at_gps_channel(self):
+        # The paradigm use: nominal vs attacked run — the GPS channel must
+        # diverge first (it is the root cause), the pose later.
+        scenario = short_scenario("s_curve", duration=35.0)
+        nominal = run_scenario(scenario)
+        attacked = run_scenario(
+            scenario, campaign=standard_attack("gps_bias", onset=15.0))
+        diff = diff_traces(nominal.trace, attacked.trace)
+        assert diff.first_channel in ("gps_x", "gps_y")
+        assert diff.divergences[0].t_first == pytest.approx(15.0, abs=0.3)
+        # Ground-truth position diverges strictly after the sensor channel.
+        pose_div = [d for d in diff.divergences if d.channel == "true_y"]
+        assert pose_div and pose_div[0].t_first > 15.0

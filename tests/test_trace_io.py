@@ -1,0 +1,97 @@
+"""Tests for repro.trace.io: JSONL/CSV round trips."""
+
+import pytest
+
+from repro.trace.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.trace.schema import TraceMeta
+
+from conftest import make_trace
+
+
+def sample_trace():
+    def mutate(step, record):
+        if step % 3 == 0:
+            return record.replace(gps_fresh=False, attack_active=True,
+                                  attack_name="gps_bias", attack_channel="gps")
+        return record
+
+    return make_trace(
+        25,
+        meta=TraceMeta(scenario="s_curve", controller="mpc",
+                       attack="gps_bias", seed=11, dt=0.05,
+                       route_length=321.5, extra={"note": "test"}),
+        mutate=mutate,
+    )
+
+
+class TestJsonl:
+    def test_roundtrip_exact(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(trace, path)
+        back = read_trace_jsonl(path)
+        assert len(back) == len(trace)
+        assert back.meta.to_dict() == trace.meta.to_dict()
+        for a, b in zip(trace, back):
+            assert a == b
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace_jsonl(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"step": 0}\n')
+        with pytest.raises(ValueError, match="metadata"):
+            read_trace_jsonl(path)
+
+    def test_corrupt_record_reports_line(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        lines[3] = "{not json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=":4"):
+            read_trace_jsonl(path)
+
+    def test_missing_channel_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"meta": {}}\n{"step": 0, "t": 0.0}\n')
+        with pytest.raises(ValueError, match="missing channel"):
+            read_trace_jsonl(path)
+
+
+class TestCsv:
+    def test_roundtrip_exact(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path)
+        assert len(back) == len(trace)
+        assert back.meta.scenario == "s_curve"
+        for a, b in zip(trace, back):
+            assert a == b
+
+    def test_bool_fields_preserved(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path)
+        assert [r.gps_fresh for r in back] == [r.gps_fresh for r in trace]
+        assert [r.attack_active for r in back] == [
+            r.attack_active for r in trace
+        ]
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="columns"):
+            read_trace_csv(path)

@@ -1,0 +1,87 @@
+"""Tests for repro.trace.metrics."""
+
+import pytest
+
+from repro.trace.metrics import compute_metrics
+from repro.trace.schema import Trace, TraceMeta
+
+from conftest import make_trace
+
+
+class TestComputeMetrics:
+    def test_healthy_cruise(self):
+        m = compute_metrics(make_trace(400))
+        assert m.mean_abs_cte == pytest.approx(0.0)
+        assert m.max_abs_cte == pytest.approx(0.0)
+        assert m.mean_speed == pytest.approx(8.0)
+        assert m.duration == pytest.approx(399 * 0.05)
+        assert m.distance == pytest.approx(8.0 * 400 * 0.05)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics(Trace())
+
+    def test_cte_stats(self):
+        def mutate(step, record):
+            return record.replace(cte_true=1.0 if step % 2 == 0 else -3.0)
+
+        m = compute_metrics(make_trace(100, mutate=mutate))
+        assert m.mean_abs_cte == pytest.approx(2.0)
+        assert m.max_abs_cte == pytest.approx(3.0)
+
+    def test_goal_reached_via_min_distance(self):
+        # Vehicle passes within the goal radius mid-run.
+        def mutate(step, record):
+            return record.replace(dist_to_goal=abs(step - 50) * 0.5)
+
+        m = compute_metrics(make_trace(100, mutate=mutate))
+        assert m.goal_reached
+
+    def test_goal_not_reached(self):
+        def mutate(step, record):
+            return record.replace(dist_to_goal=50.0)
+
+        m = compute_metrics(make_trace(100, mutate=mutate))
+        assert not m.goal_reached
+
+    def test_closed_route_goal_semantics(self):
+        # Closed routes mark dist_to_goal with -1; success = progress.
+        def mutate(step, record):
+            return record.replace(dist_to_goal=-1.0, station_true=step * 0.4)
+
+        trace = make_trace(
+            400, meta=TraceMeta(route_length=300.0, dt=0.05), mutate=mutate
+        )
+        m = compute_metrics(trace)
+        assert m.goal_reached  # progressed > 50% of route length
+
+    def test_progress_fraction_clamped(self):
+        def mutate(step, record):
+            return record.replace(station_true=step * 10.0)
+
+        trace = make_trace(
+            100, meta=TraceMeta(route_length=100.0, dt=0.05), mutate=mutate
+        )
+        m = compute_metrics(trace)
+        assert m.progress_fraction == 1.0
+
+    def test_speed_rmse_ignores_launch(self):
+        # Large error only in the first 5 s must not dominate.
+        def mutate(step, record):
+            v = 0.0 if step * 0.05 < 5.0 else 8.0
+            return record.replace(true_v=v)
+
+        m = compute_metrics(make_trace(400, mutate=mutate))
+        assert m.speed_rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_oscillation_metric_nonzero_for_dither(self):
+        def mutate(step, record):
+            return record.replace(steer_cmd=0.2 if step % 2 == 0 else -0.2)
+
+        m = compute_metrics(make_trace(200, mutate=mutate))
+        assert m.steer_oscillation_hz > 5.0
+
+    def test_as_dict_complete(self):
+        d = compute_metrics(make_trace(50)).as_dict()
+        assert "rms_cte" in d and "goal_reached" in d
+        assert len(d) == 13
