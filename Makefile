@@ -1,6 +1,6 @@
 # Development entry points for the ADAssure reproduction.
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-compare bench-runner experiments examples clean
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation || python setup.py develop
@@ -8,8 +8,19 @@ install:
 test:
 	pytest tests/
 
+# Benchmark every evaluation artifact and archive the timings under
+# .benchmarks/ so bench-compare can diff runs.
 bench:
-	pytest benchmarks/ --benchmark-only
+	pytest benchmarks/ --benchmark-only --benchmark-autosave
+
+# Compare the two most recent autosaved benchmark runs.
+bench-compare:
+	pytest-benchmark compare --group-by name
+
+# Benchmark the grid runner itself (cold serial / cold parallel / warm
+# disk cache / warm memo) and write machine-readable BENCH_runner.json.
+bench-runner:
+	python -m repro.experiments.stats --output BENCH_runner.json
 
 # Regenerate every evaluation table/figure at full size (a few minutes).
 experiments:

@@ -6,9 +6,28 @@ under the *quick* experiment config and prints it, so ``pytest benchmarks/
 qualitative shape.  Full-size tables: ``adassure experiment all``.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache(tmp_path_factory):
+    """Point the persistent run cache at a temp dir for the whole session.
+
+    Benchmarks must measure real simulation work, not whatever happens to
+    sit in the developer's ``~/.cache/adassure`` — and must not pollute it.
+    """
+    old = os.environ.get("ADASSURE_CACHE_DIR")
+    os.environ["ADASSURE_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("adassure-cache"))
+    yield
+    if old is None:
+        os.environ.pop("ADASSURE_CACHE_DIR", None)
+    else:
+        os.environ["ADASSURE_CACHE_DIR"] = old
 
 
 @pytest.fixture(scope="session")
@@ -16,13 +35,28 @@ def quick_config() -> ExperimentConfig:
     return ExperimentConfig.quick()
 
 
+def iter_tables(result):
+    """Normalize a builder's return value into a flat list of tables.
+
+    Builders return one ``Table``, a list of tables, or (future figure
+    builders) a dict of name -> table; anything renderable is yielded,
+    ``None`` contributes nothing.
+    """
+    if result is None:
+        return []
+    if isinstance(result, dict):
+        return [t for t in result.values() if t is not None]
+    if isinstance(result, (list, tuple)):
+        return [t for t in result if t is not None]
+    return [result]
+
+
 def run_and_print(benchmark, builder, config):
     """Benchmark one experiment builder (single round) and print it."""
     result = benchmark.pedantic(builder, args=(config,), rounds=1,
                                 iterations=1)
-    tables = result if isinstance(result, list) else [result]
     print()
-    for table in tables:
+    for table in iter_tables(result):
         print(table.render())
         print()
     return result

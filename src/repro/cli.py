@@ -5,7 +5,11 @@ Commands:
 * ``run`` — simulate one scenario/controller/attack, check it, diagnose it,
   and print the debugging report (optionally save the trace).
 * ``check`` — run the assertion catalog over a saved trace file.
-* ``experiment`` — regenerate one or all evaluation tables (e1..e13).
+* ``experiment`` — regenerate one or all evaluation tables (e1..e13),
+  optionally in parallel (``--workers``) and with campaign stats
+  (``--stats``).
+* ``cache`` — inspect (``stats``) or wipe (``clear``) the persistent
+  on-disk run cache that accelerates repeated campaigns.
 * ``diff`` — compare two saved traces and print the divergence timeline.
 * ``calibrate`` — fit assertion thresholds on nominal trace files and save
   a catalog spec.
@@ -72,15 +76,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig
     from repro.experiments.export import save_tables
+    from repro.experiments.stats import STATS
 
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
     ids = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    STATS.reset()
     for exp_id in ids:
         if exp_id not in ALL_EXPERIMENTS:
             print(f"unknown experiment {exp_id!r}; try: "
                   f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
             return 2
-        output = ALL_EXPERIMENTS[exp_id](config)
+        output = ALL_EXPERIMENTS[exp_id](config, workers=args.workers)
         tables = output if isinstance(output, list) else [output]
         for table in tables:
             print(table.render())
@@ -89,6 +95,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             written = save_tables(tables, args.save_dir)
             for path in written:
                 print(f"saved {path}")
+    if args.stats:
+        print(STATS.render())
+        if args.stats_json:
+            path = STATS.write_json(args.stats_json)
+            print(f"stats written to {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import RunCache
+
+    cache = RunCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root : {stats['root']}")
+        print(f"entries    : {stats['entries']}")
+        print(f"size       : {stats['bytes'] / 1e6:.2f} MB")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.root}")
     return 0
 
 
@@ -157,7 +183,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduced grid (same shape, faster)")
     p_exp.add_argument("--save-dir", metavar="DIR",
                        help="also export each table as CSV + Markdown")
+    p_exp.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="parallel simulation workers (default: "
+                            "$ADASSURE_WORKERS or cpu_count-1; 1 = serial)")
+    p_exp.add_argument("--stats", action="store_true",
+                       help="print campaign stats (phase times, cache "
+                            "hits, worker utilization) after the tables")
+    p_exp.add_argument("--stats-json", metavar="FILE",
+                       help="with --stats: also dump machine-readable "
+                            "stats JSON (e.g. BENCH_runner.json)")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent run cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_diff = sub.add_parser("diff", help="diff two saved traces")
     p_diff.add_argument("reference", help="known-good trace (.jsonl)")

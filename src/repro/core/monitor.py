@@ -36,6 +36,7 @@ class OnlineMonitor:
         self.assertions = list(assertions)
         for assertion in self.assertions:
             assertion.reset()
+        self._first_record: TraceRecord | None = None
         self._last_record: TraceRecord | None = None
         self._finished = False
 
@@ -43,6 +44,8 @@ class OnlineMonitor:
         """Process one record; returns episodes that closed at this step."""
         if self._finished:
             raise RuntimeError("monitor already finished; create a new one")
+        if self._first_record is None:
+            self._first_record = record
         self._last_record = record
         violations = []
         for assertion in self.assertions:
@@ -61,6 +64,10 @@ class OnlineMonitor:
     def finish(self, trace: Trace | None = None) -> CheckReport:
         """Close open episodes, run end-of-trace checks, build the report.
 
+        An empty stream (no records fed, or an empty ``trace``) yields a
+        well-formed zero-duration report: no violations, every assertion
+        summarized as silent.
+
         Args:
             trace: optionally attach the trace's metadata to the report
                 (pass the trace the records came from).
@@ -78,9 +85,14 @@ class OnlineMonitor:
             all_violations.extend(assertion.violations)
         all_violations.sort(key=lambda v: (v.t_start, v.assertion_id))
         meta = trace.meta if trace is not None else None
-        duration = trace.duration if trace is not None else (
-            self._last_record.t if self._last_record else 0.0
-        )
+        if trace is not None:
+            duration = trace.duration
+        elif self._last_record is not None and self._first_record is not None:
+            # Span of the observed stream, matching Trace.duration (which
+            # is 0.0 for traces of fewer than two records).
+            duration = self._last_record.t - self._first_record.t
+        else:
+            duration = 0.0
         return CheckReport(
             scenario=meta.scenario if meta else "",
             controller=meta.controller if meta else "",

@@ -13,6 +13,7 @@ can be versioned next to the vehicle software and reloaded on the bench:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -21,7 +22,7 @@ from repro.core.catalog import CATALOG_IDS, default_catalog
 from repro.core.dsl import TraceAssertion
 from repro.core.tuning import CalibrationResult
 
-__all__ = ["AssertionSpec", "CatalogSpec"]
+__all__ = ["AssertionSpec", "CatalogSpec", "catalog_fingerprint"]
 
 _FORMAT_VERSION = 1
 
@@ -136,3 +137,38 @@ class CatalogSpec:
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}: not a valid catalog spec: {exc}") from exc
         return CatalogSpec.from_dict(data)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of this catalog configuration.
+
+        Two specs that build the same effective assertion set (same ids,
+        same enablement, same bound scales, same episode semantics) share
+        a fingerprint; any change to the catalog registry, a threshold
+        scale, or an assertion's settle/debounce parameters changes it.
+        Used as a component of the persistent run-cache key so cached
+        reports are never reused across catalog revisions.
+        """
+        assertions = [
+            {
+                "id": a.assertion_id,
+                "name": a.name,
+                "category": a.category,
+                "settle_time": a.settle_time,
+                "debounce_on": a.debounce_on,
+                "debounce_off": a.debounce_off,
+                "bound_scale": a.bound_scale,
+            }
+            for a in self.build()
+        ]
+        payload = json.dumps(
+            {"ids": list(CATALOG_IDS), "spec": self.to_dict(),
+             "assertions": assertions},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def catalog_fingerprint() -> str:
+    """Fingerprint of the stock catalog (what ``check_trace`` runs by
+    default); see :meth:`CatalogSpec.fingerprint`."""
+    return CatalogSpec.default().fingerprint()

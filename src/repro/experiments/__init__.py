@@ -7,8 +7,16 @@ so the benchmark suite can run them in a reduced *quick* mode while the CLI
 reproduces the full-size tables.
 """
 
+from repro.experiments.cache import RunCache, cache_key
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import GridRun, run_grid
+from repro.experiments.runner import (
+    GridRun,
+    clear_cache,
+    resolve_workers,
+    run_grid,
+    set_memo_limit,
+)
+from repro.experiments.stats import STATS, GridStats
 from repro.experiments.tables import Table
 
 from repro.experiments.e1_detection import build_detection_matrix
@@ -30,6 +38,13 @@ __all__ = [
     "Table",
     "run_grid",
     "GridRun",
+    "RunCache",
+    "cache_key",
+    "clear_cache",
+    "resolve_workers",
+    "set_memo_limit",
+    "GridStats",
+    "STATS",
     "build_detection_matrix",
     "build_latency_table",
     "build_anomaly_traces",

@@ -1,0 +1,266 @@
+"""Persistent, content-addressed on-disk cache for scored grid runs.
+
+Every grid point the runner executes is a pure function of its inputs
+(scenario, controller, attack, intensity, seed, onset, duration) *and* of
+the code that scores it — the simulator is fully seeded and the assertion
+catalog deterministic.  That makes runs content-addressable: the cache
+key is a SHA-256 over the canonical input tuple salted with the package
+version and the catalog fingerprint, so a cache populated by one catalog
+revision is silently invalidated by the next.
+
+Layout (under ``$ADASSURE_CACHE_DIR`` or ``~/.cache/adassure``)::
+
+    <root>/v1/ab/<key>.trace.jsonl.gz   gzip'd JSONL trace (inspectable
+                                        with zcat / `adassure check`)
+    <root>/v1/ab/<key>.scored.pkl       pickled scenario + metrics +
+                                        outcome + CheckReport + diagnosis
+
+Entries are written atomically (tmp file + rename) so concurrent workers
+and concurrent campaigns can share a cache directory.  Any unreadable or
+truncated entry is treated as a miss, deleted, and re-run — a corrupt
+cache can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.core.spec import catalog_fingerprint
+from repro.core.verdicts import CheckReport
+from repro.sim.engine import RunResult
+from repro.trace.io import trace_from_jsonl_bytes, trace_to_jsonl_bytes
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheCounters",
+    "RunCache",
+    "cache_key",
+    "cache_key_params",
+    "default_cache_dir",
+]
+
+CACHE_FORMAT_VERSION = 1
+"""Bumped whenever the on-disk entry layout changes."""
+
+_TRACE_SUFFIX = ".trace.jsonl.gz"
+_SCORED_SUFFIX = ".scored.pkl"
+
+
+def default_cache_dir() -> Path:
+    """``$ADASSURE_CACHE_DIR``, else ``~/.cache/adassure``."""
+    env = os.environ.get("ADASSURE_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "adassure"
+
+
+def cache_key(
+    scenario: str,
+    controller: str,
+    attack: str,
+    intensity: float,
+    seed: int,
+    onset: float,
+    duration: float | None,
+    *,
+    catalog: str | None = None,
+) -> str:
+    """Content hash of one grid point.
+
+    The salt covers everything a scored run depends on besides the grid
+    coordinates: the entry format, the package version (code salt), and
+    the effective assertion-catalog configuration.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "code": repro.__version__,
+        "catalog": catalog if catalog is not None else catalog_fingerprint(),
+        "scenario": scenario,
+        "controller": controller,
+        "attack": attack,
+        "intensity": float(intensity),
+        "seed": int(seed),
+        "onset": float(onset),
+        "duration": None if duration is None else float(duration),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+
+
+def cache_key_params(params: dict, *, catalog: str | None = None) -> str:
+    """Content hash of an *off-grid* run described by a params dict.
+
+    For runs the cartesian grid cannot key (gated estimators, concurrent
+    attack pairs, injected controller defects, car-following scenarios).
+    ``params`` must be JSON-serializable and include every knob the run
+    depends on; the same version/catalog salt as :func:`cache_key`
+    applies.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "code": repro.__version__,
+        "catalog": catalog if catalog is not None else catalog_fingerprint(),
+        "params": params,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+
+
+@dataclass(slots=True)
+class CacheCounters:
+    """Hit/miss accounting for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+    """Entries that existed but failed to load (treated as misses)."""
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "errors": self.errors}
+
+
+class RunCache:
+    """Persistent store of scored runs, keyed by :func:`cache_key`.
+
+    The value side is the ``(result, report, diagnosis)`` triple the grid
+    runner produces: the trace travels as compressed JSONL (exact float
+    round-trip), everything derived (scenario object, metrics, outcome,
+    check report, diagnosis) as one pickle.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = (Path(root).expanduser() if root is not None
+                     else default_cache_dir()) / f"v{CACHE_FORMAT_VERSION}"
+        self.counters = CacheCounters()
+
+    @staticmethod
+    def from_env() -> "RunCache | None":
+        """The process-wide cache, or ``None`` when disabled.
+
+        ``ADASSURE_CACHE=0`` (or ``off``/``false``) turns the disk layer
+        off entirely; ``ADASSURE_CACHE_DIR`` relocates it.
+        """
+        flag = os.environ.get("ADASSURE_CACHE", "1").strip().lower()
+        if flag in ("0", "off", "false", "no"):
+            return None
+        return RunCache()
+
+    # -- path helpers ---------------------------------------------------
+    def _shard(self, key: str) -> Path:
+        return self.root / key[:2]
+
+    def _trace_path(self, key: str) -> Path:
+        return self._shard(key) / (key + _TRACE_SUFFIX)
+
+    def _scored_path(self, key: str) -> Path:
+        return self._shard(key) / (key + _SCORED_SUFFIX)
+
+    def contains(self, key: str) -> bool:
+        return self._trace_path(key).exists() and self._scored_path(key).exists()
+
+    # -- load/store -----------------------------------------------------
+    def load(self, key: str):
+        """``(RunResult, CheckReport, diagnosis)`` or ``None`` on miss.
+
+        Corrupt or partial entries are evicted and reported as misses.
+        """
+        trace_path = self._trace_path(key)
+        scored_path = self._scored_path(key)
+        try:
+            trace = trace_from_jsonl_bytes(trace_path.read_bytes())
+            with scored_path.open("rb") as f:
+                scored = pickle.load(f)
+            result = RunResult(
+                trace=trace,
+                metrics=scored["metrics"],
+                outcome=scored["outcome"],
+                scenario=scored["scenario"],
+                controller_name=scored["controller_name"],
+                attack_label=scored["attack_label"],
+            )
+            report = scored["report"]
+            if not isinstance(report, CheckReport):
+                raise TypeError("cache entry holds no CheckReport")
+            self.counters.hits += 1
+            return result, report, scored["diagnosis"]
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except Exception:
+            # Truncated write, stale pickle from an old code layout,
+            # bit rot: evict and re-simulate rather than crash a campaign.
+            self.counters.errors += 1
+            self.counters.misses += 1
+            self.evict(key)
+            return None
+
+    def store(self, key: str, result: RunResult, report: CheckReport,
+              diagnosis) -> None:
+        """Persist one scored run; atomic, best-effort (IO errors are
+        swallowed — the cache is an accelerator, not a database)."""
+        try:
+            shard = self._shard(key)
+            shard.mkdir(parents=True, exist_ok=True)
+            scored = {
+                "metrics": result.metrics,
+                "outcome": result.outcome,
+                "scenario": result.scenario,
+                "controller_name": result.controller_name,
+                "attack_label": result.attack_label,
+                "report": report,
+                "diagnosis": diagnosis,
+            }
+            self._atomic_write(self._trace_path(key),
+                               trace_to_jsonl_bytes(result.trace))
+            self._atomic_write(self._scored_path(key),
+                               pickle.dumps(scored, protocol=pickle.HIGHEST_PROTOCOL))
+            self.counters.stores += 1
+        except OSError:
+            pass
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def evict(self, key: str) -> None:
+        """Drop one entry (both payload files), ignoring races."""
+        for path in (self._trace_path(key), self._scored_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- maintenance ----------------------------------------------------
+    def stats(self) -> dict:
+        """Entry count and byte footprint of the disk layer."""
+        entries = 0
+        total_bytes = 0
+        if self.root.exists():
+            entries = sum(1 for _ in self.root.rglob("*" + _SCORED_SUFFIX))
+            total_bytes = sum(p.stat().st_size for p in self.root.rglob("*")
+                              if p.is_file())
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "session": self.counters.as_dict(),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = self.stats()["entries"]
+        if self.root.exists():
+            shutil.rmtree(self.root, ignore_errors=True)
+        return removed

@@ -14,9 +14,9 @@ recovers the exact injected set.
 from __future__ import annotations
 
 from repro.attacks.campaign import combined_attack
-from repro.core.checker import check_trace
 from repro.core.diagnosis import diagnose, diagnose_multi
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scored
 from repro.experiments.tables import Table
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import standard_scenarios
@@ -33,8 +33,15 @@ ATTACK_PAIRS: tuple[tuple[str, str], ...] = (
 """Concurrent pairs, chosen to span disjoint and overlapping signatures."""
 
 
-def build_multi_attack_table(config: ExperimentConfig | None = None) -> Table:
-    """Top-k coverage of both true causes under concurrent attacks."""
+def build_multi_attack_table(config: ExperimentConfig | None = None,
+                             workers: int | None = None) -> Table:
+    """Top-k coverage of both true causes under concurrent attacks.
+
+    ``workers`` is accepted for experiment-interface uniformity; these
+    off-grid runs execute in-process but go through the shared run
+    cache (:func:`~repro.experiments.runner.run_scored`), so repeated
+    campaigns re-simulate nothing.
+    """
     config = config or ExperimentConfig.full()
     table = Table(
         title="Table 7 (E11, extension): diagnosis under concurrent attacks "
@@ -51,11 +58,15 @@ def build_multi_attack_table(config: ExperimentConfig | None = None) -> Table:
             # Full scenario duration always: slow-drift members of a pair
             # need time to accumulate their dead-reckoning signature.
             scenario = standard_scenarios(seed=seed)[config.scenario]
-            result = run_scenario(
-                scenario, controller="pure_pursuit",
-                campaign=combined_attack(pair, onset=config.attack_onset),
+            _, report = run_scored(
+                {"kind": "multi_attack", "pair": list(pair),
+                 "scenario": config.scenario, "seed": seed,
+                 "onset": config.attack_onset},
+                lambda: run_scenario(
+                    scenario, controller="pure_pursuit",
+                    campaign=combined_attack(pair, onset=config.attack_onset),
+                ),
             )
-            report = check_trace(result.trace)
             ranking = diagnose(report)
             ranks = [ranking.rank_of(cause) for cause in pair]
             if all(r is not None and r <= 2 for r in ranks):

@@ -18,9 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.campaign import standard_attack
-from repro.core.checker import check_trace
 from repro.core.diagnosis import diagnose
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scored
 from repro.experiments.tables import Table
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import acc_scenario
@@ -30,8 +30,15 @@ __all__ = ["build_acc_debugging", "RADAR_ATTACKS"]
 RADAR_ATTACKS: tuple[str, ...] = ("radar_scale", "radar_ghost", "radar_blind")
 
 
-def build_acc_debugging(config: ExperimentConfig | None = None) -> Table:
-    """Radar-attack outcomes on the car-following scenario."""
+def build_acc_debugging(config: ExperimentConfig | None = None,
+                        workers: int | None = None) -> Table:
+    """Radar-attack outcomes on the car-following scenario.
+
+    ``workers`` is accepted for experiment-interface uniformity; these
+    off-grid runs execute in-process but go through the shared run
+    cache (:func:`~repro.experiments.runner.run_scored`), so repeated
+    campaigns re-simulate nothing.
+    """
     config = config or ExperimentConfig.full()
     table = Table(
         title="Table 8 (E12, extension): ACC debugging under radar attacks "
@@ -45,9 +52,14 @@ def build_acc_debugging(config: ExperimentConfig | None = None) -> Table:
         near_collision = detected = correct = 0
         for seed in config.seeds:
             scenario = acc_scenario(seed=seed)
-            result = run_scenario(
-                scenario,
-                campaign=standard_attack(attack, onset=config.attack_onset),
+            result, report = run_scored(
+                {"kind": "acc", "attack": attack, "seed": seed,
+                 "onset": config.attack_onset},
+                lambda: run_scenario(
+                    scenario,
+                    campaign=standard_attack(attack,
+                                             onset=config.attack_onset),
+                ),
             )
             trace = result.trace
             gap = trace.column("gap_true")
@@ -58,7 +70,6 @@ def build_acc_debugging(config: ExperimentConfig | None = None) -> Table:
             headways.append(float(headway))
             near_collision += float(np.min(gap)) < 2.0
 
-            report = check_trace(trace)
             if attack == "none":
                 detected += report.any_fired
                 correct += diagnose(report).top().cause == "none"

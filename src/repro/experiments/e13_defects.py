@@ -18,10 +18,10 @@ from __future__ import annotations
 from repro.control.base import make_lateral_controller
 from repro.control.defects import DEFECT_CLASSES, DefectiveController, make_defect
 from repro.control.follower import SpeedProfile, WaypointFollower
-from repro.core.checker import check_trace
 from repro.core.diagnosis import diagnose
 from repro.core.knowledge import defect_knowledge_base
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scored
 from repro.experiments.tables import Table
 from repro.sim.engine import SimulationRunner
 from repro.sim.scenario import standard_scenarios
@@ -55,8 +55,15 @@ def _run_with_defect(defect_name: str | None, seed: int):
     return SimulationRunner(scenario, follower).run()
 
 
-def build_defect_debugging(config: ExperimentConfig | None = None) -> Table:
-    """Defect detection + identification table."""
+def build_defect_debugging(config: ExperimentConfig | None = None,
+                           workers: int | None = None) -> Table:
+    """Defect detection + identification table.
+
+    ``workers`` is accepted for experiment-interface uniformity; these
+    off-grid runs execute in-process but go through the shared run
+    cache (:func:`~repro.experiments.runner.run_scored`), so repeated
+    campaigns re-simulate nothing.
+    """
     config = config or ExperimentConfig.full()
     kb = defect_knowledge_base()
     table = Table(
@@ -72,8 +79,12 @@ def build_defect_debugging(config: ExperimentConfig | None = None) -> Table:
         damages = []
         fired_union: set[str] = set()
         for seed in config.seeds:
-            result = _run_with_defect(defect_name, seed)
-            report = check_trace(result.trace)
+            result, report = run_scored(
+                {"kind": "defect", "defect": defect_name or "none",
+                 "defect_params": DEFECT_PARAMS.get(defect_name, {}),
+                 "scenario": _SCENARIO, "seed": seed},
+                lambda: _run_with_defect(defect_name, seed),
+            )
             ranking = diagnose(report, kb)
             truth = defect_name or "none"
             if truth == "none":

@@ -16,7 +16,8 @@ from repro.experiments.tables import Table
 __all__ = ["build_detection_matrix"]
 
 
-def build_detection_matrix(config: ExperimentConfig | None = None) -> Table:
+def build_detection_matrix(config: ExperimentConfig | None = None,
+                           workers: int | None = None) -> Table:
     """Attack-class (rows) x assertion (columns) firing matrix.
 
     A cell shows the fraction of seeds in which the assertion fired after
@@ -30,6 +31,7 @@ def build_detection_matrix(config: ExperimentConfig | None = None) -> Table:
         seeds=config.seeds,
         onset=config.attack_onset,
         duration=config.duration,
+        workers=workers,
     )
 
     table = Table(

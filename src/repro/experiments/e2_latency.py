@@ -20,7 +20,8 @@ __all__ = ["build_latency_table"]
 _CATEGORY_OF = {aid: make_assertion(aid).category for aid in CATALOG_IDS}
 
 
-def build_latency_table(config: ExperimentConfig | None = None) -> Table:
+def build_latency_table(config: ExperimentConfig | None = None,
+                        workers: int | None = None) -> Table:
     """Per-attack detection latency (median over seeds), split by family."""
     config = config or ExperimentConfig.full()
     runs = run_grid(
@@ -30,6 +31,7 @@ def build_latency_table(config: ExperimentConfig | None = None) -> Table:
         seeds=config.seeds,
         onset=config.attack_onset,
         duration=config.duration,
+        workers=workers,
     )
 
     table = Table(

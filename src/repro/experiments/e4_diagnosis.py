@@ -16,7 +16,8 @@ from repro.experiments.tables import Table
 __all__ = ["build_diagnosis_accuracy"]
 
 
-def build_diagnosis_accuracy(config: ExperimentConfig | None = None) -> Table:
+def build_diagnosis_accuracy(config: ExperimentConfig | None = None,
+                             workers: int | None = None) -> Table:
     """Per-attack top-1/top-2 diagnosis accuracy plus common confusion."""
     config = config or ExperimentConfig.full()
     scenarios = (config.scenario,) + tuple(config.trace_scenarios[:1])
@@ -27,6 +28,7 @@ def build_diagnosis_accuracy(config: ExperimentConfig | None = None) -> Table:
         seeds=config.seeds,
         onset=config.attack_onset,
         duration=config.duration,
+        workers=workers,
     )
 
     table = Table(

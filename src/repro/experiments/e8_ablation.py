@@ -20,7 +20,8 @@ from repro.experiments.tables import Table
 __all__ = ["build_assertion_ablation"]
 
 
-def build_assertion_ablation(config: ExperimentConfig | None = None) -> Table:
+def build_assertion_ablation(config: ExperimentConfig | None = None,
+                             workers: int | None = None) -> Table:
     """Diagnosis accuracy per cumulative catalog stage."""
     config = config or ExperimentConfig.full()
     runs = run_grid(
@@ -30,6 +31,7 @@ def build_assertion_ablation(config: ExperimentConfig | None = None) -> Table:
         seeds=config.seeds,
         onset=config.attack_onset,
         duration=config.duration,
+        workers=workers,
     )
     kb = default_knowledge_base()
 

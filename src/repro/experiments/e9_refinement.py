@@ -16,7 +16,8 @@ from repro.experiments.tables import Table
 __all__ = ["build_refinement_loop"]
 
 
-def build_refinement_loop(config: ExperimentConfig | None = None) -> Table:
+def build_refinement_loop(config: ExperimentConfig | None = None,
+                          workers: int | None = None) -> Table:
     """Gap counts per methodology iteration (staged catalog growth)."""
     config = config or ExperimentConfig.full()
     runs = run_grid(
@@ -26,6 +27,7 @@ def build_refinement_loop(config: ExperimentConfig | None = None) -> Table:
         seeds=config.seeds,
         onset=config.attack_onset,
         duration=config.duration,
+        workers=workers,
     )
     corpus = [AnomalyCase(trace=r.result.trace, true_cause=r.attack)
               for r in runs]

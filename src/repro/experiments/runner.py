@@ -1,23 +1,55 @@
 """Grid runner: scenario x controller x attack x seed, with check+diagnose.
 
 Every experiment funnels through :func:`run_grid` so runs are executed and
-scored uniformly, and so an in-process memo cache lets experiments that
-share grid points (e.g. E1 and E2) reuse simulations instead of re-running
-them.
+scored uniformly.  Three layers amortize repeated work:
+
+1. an **in-process LRU memo** (bounded, default 512 runs) lets experiments
+   that share grid points inside one process (e.g. E1 and E2) reuse
+   simulations instantly;
+2. a **persistent on-disk cache** (:mod:`repro.experiments.cache`,
+   content-addressed by scenario/controller/attack/intensity/seed/onset/
+   duration + catalog + code version) survives across processes, so a
+   repeated campaign re-simulates nothing;
+3. uncached grid points fan out over a ``ProcessPoolExecutor``
+   (``workers=`` argument / ``ADASSURE_WORKERS`` env / default
+   ``os.cpu_count() - 1``); ``workers=1`` keeps the classic serial path.
+
+Because every run is fully seeded, parallel and serial execution produce
+bit-identical results; workers only change wall-clock time.  Each
+``run_grid`` call reports timings and hit counts into
+:data:`repro.experiments.stats.STATS`.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.attacks.campaign import standard_attack
 from repro.core.checker import check_trace
 from repro.core.diagnosis import DiagnosisResult, diagnose
+from repro.core.spec import catalog_fingerprint
 from repro.core.verdicts import CheckReport
+from repro.experiments.cache import RunCache, cache_key, cache_key_params
+from repro.experiments.stats import STATS, GridStats
 from repro.sim.engine import RunResult, run_scenario
 from repro.sim.scenario import standard_scenarios
 
-__all__ = ["GridRun", "run_grid", "clear_cache"]
+__all__ = [
+    "GridRun",
+    "run_grid",
+    "run_scored",
+    "clear_cache",
+    "resolve_workers",
+    "set_memo_limit",
+]
+
+DEFAULT_MEMO_LIMIT = 512
+"""Default bound on the in-process memo (``ADASSURE_MEMO_LIMIT`` env)."""
 
 
 @dataclass(slots=True)
@@ -41,34 +73,100 @@ class GridRun:
         return self.report.detection_latency(onset)
 
 
-_CACHE: dict[tuple, GridRun] = {}
+# ---------------------------------------------------------------------------
+# In-process memo: bounded LRU so multi-thousand-point sweeps cannot grow
+# memory without limit (each GridRun holds a full trace).
+# ---------------------------------------------------------------------------
+
+_MEMO: OrderedDict[tuple, GridRun] = OrderedDict()
 
 
-def clear_cache() -> None:
-    """Drop memoized runs (tests use this to force fresh simulations)."""
-    _CACHE.clear()
+def _memo_limit() -> int:
+    try:
+        return max(int(os.environ.get("ADASSURE_MEMO_LIMIT",
+                                      DEFAULT_MEMO_LIMIT)), 1)
+    except ValueError:
+        return DEFAULT_MEMO_LIMIT
 
 
-def _run_one(
-    scenario_name: str,
-    controller: str,
-    attack: str,
-    intensity: float,
-    seed: int,
-    onset: float,
-    duration: float | None,
-) -> GridRun:
-    key = (scenario_name, controller, attack, intensity, seed, onset, duration)
-    if key in _CACHE:
-        return _CACHE[key]
+_MEMO_LIMIT = _memo_limit()
+
+
+def set_memo_limit(limit: int) -> None:
+    """Re-bound the in-process memo (evicts oldest entries immediately)."""
+    global _MEMO_LIMIT
+    if limit < 1:
+        raise ValueError("memo limit must be >= 1")
+    _MEMO_LIMIT = limit
+    while len(_MEMO) > _MEMO_LIMIT:
+        _MEMO.popitem(last=False)
+
+
+def _memo_get(key: tuple) -> GridRun | None:
+    run = _MEMO.get(key)
+    if run is not None:
+        _MEMO.move_to_end(key)
+    return run
+
+
+def _memo_put(key: tuple, run: GridRun) -> None:
+    _MEMO[key] = run
+    _MEMO.move_to_end(key)
+    while len(_MEMO) > _MEMO_LIMIT:
+        _MEMO.popitem(last=False)
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop memoized runs (tests use this to force fresh simulations).
+
+    Args:
+        disk: also wipe the persistent on-disk cache layer.
+    """
+    _MEMO.clear()
+    if disk:
+        cache = RunCache.from_env()
+        if cache is not None:
+            cache.clear()
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: argument > ``ADASSURE_WORKERS`` > cores-1."""
+    if workers is None:
+        env = os.environ.get("ADASSURE_WORKERS")
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+    if workers is None:
+        workers = (os.cpu_count() or 2) - 1
+    return max(int(workers), 1)
+
+
+# ---------------------------------------------------------------------------
+# Point execution (also the ProcessPoolExecutor work unit)
+# ---------------------------------------------------------------------------
+
+def _execute_point(point: tuple) -> tuple[tuple, GridRun, dict]:
+    """Simulate + check + diagnose one grid point.
+
+    Top-level so it pickles into pool workers; returns the grid key, the
+    scored run and per-phase wall times.
+    """
+    scenario_name, controller, attack, intensity, seed, onset, duration = point
     scenario = standard_scenarios(seed=seed, duration=duration)[scenario_name]
     campaign = (
         standard_attack(attack, intensity=intensity, onset=onset)
         if attack != "none"
         else standard_attack("none")
     )
+    t0 = time.perf_counter()
     result = run_scenario(scenario, controller=controller, campaign=campaign)
+    t1 = time.perf_counter()
     report = check_trace(result.trace)
+    t2 = time.perf_counter()
+    diagnosis = diagnose(report)
+    t3 = time.perf_counter()
     run = GridRun(
         scenario=scenario_name,
         controller=controller,
@@ -77,10 +175,73 @@ def _run_one(
         seed=seed,
         result=result,
         report=report,
-        diagnosis=diagnose(report),
+        diagnosis=diagnosis,
     )
-    _CACHE[key] = run
-    return run
+    phases = {"simulate": t1 - t0, "check": t2 - t1, "diagnose": t3 - t2}
+    return point, run, phases
+
+
+def run_scored(params: dict, simulate) -> tuple[RunResult, CheckReport]:
+    """Cached execution of one *off-grid* closed-loop run.
+
+    The extension experiments (E10-E13) run configurations the cartesian
+    grid cannot express — gated estimators, concurrent attack pairs,
+    injected controller defects, the car-following scenario.  This routes
+    them through the same two cache layers as :func:`run_grid`.
+
+    Args:
+        params: JSON-serializable dict that uniquely determines the run;
+            it must cover every knob ``simulate`` closes over (a stale
+            ``params`` means silently wrong cache hits).  Convention:
+            include a ``"kind"`` discriminator per experiment family.
+        simulate: zero-argument callable returning the
+            :class:`~repro.sim.engine.RunResult`; only invoked on a miss.
+
+    Returns:
+        ``(result, report)`` — the report is the default-catalog
+        :func:`~repro.core.checker.check_trace` verdict.  Diagnosis is
+        not cached: rankings are knowledge-base dependent and cost
+        microseconds to recompute.
+    """
+    wall_start = time.perf_counter()
+    stats = GridStats(workers=1, grid_points=1)
+    memo_key = ("scored",
+                json.dumps(params, sort_keys=True, separators=(",", ":")))
+    cached = _MEMO.get(memo_key)
+    if cached is not None:
+        _MEMO.move_to_end(memo_key)
+        stats.memo_hits = 1
+        stats.wall_time = time.perf_counter() - wall_start
+        STATS.record(stats)
+        return cached
+
+    cache = RunCache.from_env()
+    key = cache_key_params(params) if cache is not None else None
+    if cache is not None:
+        entry = cache.load(key)
+        if entry is not None:
+            result, report, _ = entry
+            _memo_put(memo_key, (result, report))
+            stats.disk_hits = 1
+            stats.wall_time = time.perf_counter() - wall_start
+            STATS.record(stats)
+            return result, report
+
+    t0 = time.perf_counter()
+    result = simulate()
+    t1 = time.perf_counter()
+    report = check_trace(result.trace)
+    t2 = time.perf_counter()
+    _memo_put(memo_key, (result, report))
+    if cache is not None:
+        cache.store(key, result, report, None)
+        stats.disk_errors = cache.counters.errors
+    stats.executed = 1
+    stats.phase_time["simulate"] = t1 - t0
+    stats.phase_time["check"] = t2 - t1
+    stats.wall_time = time.perf_counter() - wall_start
+    STATS.record(stats)
+    return result, report
 
 
 def run_grid(
@@ -91,15 +252,85 @@ def run_grid(
     intensity: float = 1.0,
     onset: float = 15.0,
     duration: float | None = None,
+    workers: int | None = None,
 ) -> list[GridRun]:
-    """Run (and score) the full cartesian grid; memoized per process."""
-    runs = []
-    for scenario in scenarios:
-        for controller in controllers:
-            for attack in attacks:
-                for seed in seeds:
-                    runs.append(
-                        _run_one(scenario, controller, attack, intensity,
-                                 seed, onset, duration)
-                    )
-    return runs
+    """Run (and score) the full cartesian grid.
+
+    Results come back in grid order (scenario-major, seed-minor) and are
+    identical regardless of ``workers`` — the pool only changes how the
+    uncached points are executed.  Hits are served from the in-process
+    memo first, then from the persistent disk cache; freshly executed
+    points are merged back into both layers.
+    """
+    wall_start = time.perf_counter()
+    stats = GridStats(workers=1)
+
+    grid: list[tuple] = [
+        (scenario, controller, attack, intensity, seed, onset, duration)
+        for scenario in scenarios
+        for controller in controllers
+        for attack in attacks
+        for seed in seeds
+    ]
+    stats.grid_points = len(grid)
+
+    cache = RunCache.from_env()
+    catalog = catalog_fingerprint() if cache is not None else None
+
+    # Resolve every unique point through memo -> disk -> pending list.
+    # `resolved` pins this grid's runs so LRU eviction mid-call is safe.
+    resolved: dict[tuple, GridRun] = {}
+    pending: list[tuple] = []
+    seen: set[tuple] = set()
+    for point in grid:
+        if point in seen:
+            continue
+        seen.add(point)
+        run = _memo_get(point)
+        if run is not None:
+            resolved[point] = run
+            stats.memo_hits += 1
+            continue
+        if cache is not None:
+            entry = cache.load(cache_key(*point, catalog=catalog))
+            if entry is not None:
+                result, report, diagnosis = entry
+                run = GridRun(
+                    scenario=point[0], controller=point[1], attack=point[2],
+                    intensity=point[3], seed=point[4],
+                    result=result, report=report, diagnosis=diagnosis,
+                )
+                resolved[point] = run
+                _memo_put(point, run)
+                stats.disk_hits += 1
+                continue
+        pending.append(point)
+
+    # Execute the misses: serially, or fanned out over a process pool.
+    n_workers = resolve_workers(workers)
+    use_pool = n_workers > 1 and len(pending) > 1
+    stats.workers = min(n_workers, len(pending)) if use_pool else 1
+    if use_pool:
+        with ProcessPoolExecutor(max_workers=stats.workers) as pool:
+            executed = list(pool.map(_execute_point, pending))
+    else:
+        executed = [_execute_point(point) for point in pending]
+
+    # Merge worker results back into both cache layers, in grid order so
+    # the merge itself is deterministic.
+    for point, run, phases in executed:
+        resolved[point] = run
+        _memo_put(point, run)
+        if cache is not None:
+            cache.store(cache_key(*point, catalog=catalog),
+                        run.result, run.report, run.diagnosis)
+        stats.executed += 1
+        for phase, seconds in phases.items():
+            stats.phase_time[phase] += seconds
+
+    if cache is not None:
+        stats.disk_errors = cache.counters.errors
+    stats.wall_time = time.perf_counter() - wall_start
+    STATS.record(stats)
+
+    return [resolved[point] for point in grid]

@@ -15,7 +15,14 @@ from repro.trace.analysis import (
     sliding_windows,
 )
 from repro.trace.diff import TraceDiff, diff_traces
-from repro.trace.io import read_trace_csv, read_trace_jsonl, write_trace_csv, write_trace_jsonl
+from repro.trace.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    trace_from_jsonl_bytes,
+    trace_to_jsonl_bytes,
+    write_trace_csv,
+    write_trace_jsonl,
+)
 from repro.trace.metrics import TraceMetrics, compute_metrics
 from repro.trace.recorder import TraceRecorder
 from repro.trace.schema import Trace, TraceMeta, TraceRecord
@@ -29,6 +36,8 @@ __all__ = [
     "read_trace_jsonl",
     "write_trace_csv",
     "read_trace_csv",
+    "trace_to_jsonl_bytes",
+    "trace_from_jsonl_bytes",
     "TraceMetrics",
     "compute_metrics",
     "moving_average",

@@ -4,11 +4,19 @@ The JSONL format stores one metadata header line followed by one record
 per line; round-tripping is exact up to float repr (Python's ``repr`` of a
 float is lossless).  CSV stores only the record table and takes the
 metadata as a sidecar dict embedded in a ``# meta:`` comment line.
+
+Paths ending in ``.gz`` are transparently gzip-compressed on the JSONL
+path, and :func:`trace_to_jsonl_bytes` / :func:`trace_from_jsonl_bytes`
+provide the same format as an in-memory payload — the persistent run
+cache (:mod:`repro.experiments.cache`) round-trips traces through these
+without touching temporary files.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
+import io
 import json
 from pathlib import Path
 
@@ -19,7 +27,11 @@ __all__ = [
     "read_trace_jsonl",
     "write_trace_csv",
     "read_trace_csv",
+    "trace_to_jsonl_bytes",
+    "trace_from_jsonl_bytes",
 ]
+
+_GZIP_MAGIC = b"\x1f\x8b"
 
 _BOOL_CHANNELS = frozenset(
     name for name in Trace.field_names
@@ -41,36 +53,79 @@ def _record_from_dict(data: dict) -> TraceRecord:
     return TraceRecord(**kwargs)
 
 
+def _write_jsonl_stream(trace: Trace, f) -> None:
+    f.write(json.dumps({"meta": trace.meta.to_dict()}) + "\n")
+    for record in trace:
+        f.write(json.dumps(_record_to_dict(record)) + "\n")
+
+
+def _read_jsonl_stream(f, label: str) -> Trace:
+    header = f.readline()
+    if not header:
+        raise ValueError(f"{label}: empty trace file")
+    head = json.loads(header)
+    if "meta" not in head:
+        raise ValueError(f"{label}: missing metadata header line")
+    meta = TraceMeta.from_dict(head["meta"])
+    trace = Trace(meta)
+    for line_no, line in enumerate(f, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            trace.append(_record_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise ValueError(f"{label}:{line_no}: bad trace record: {exc}") from exc
+    return trace
+
+
 def write_trace_jsonl(trace: Trace, path: str | Path) -> None:
-    """Write a trace to a JSON-lines file (header line + one record/line)."""
+    """Write a trace to a JSON-lines file (header line + one record/line).
+
+    A ``.gz`` suffix gzip-compresses the file transparently.
+    """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as f:
-        f.write(json.dumps({"meta": trace.meta.to_dict()}) + "\n")
-        for record in trace:
-            f.write(json.dumps(_record_to_dict(record)) + "\n")
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as f:
+            _write_jsonl_stream(trace, f)
+    else:
+        with path.open("w", encoding="utf-8") as f:
+            _write_jsonl_stream(trace, f)
 
 
 def read_trace_jsonl(path: str | Path) -> Trace:
-    """Read a trace written by :func:`write_trace_jsonl`."""
+    """Read a trace written by :func:`write_trace_jsonl` (plain or .gz)."""
     path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            return _read_jsonl_stream(f, str(path))
     with path.open("r", encoding="utf-8") as f:
-        header = f.readline()
-        if not header:
-            raise ValueError(f"{path}: empty trace file")
-        head = json.loads(header)
-        if "meta" not in head:
-            raise ValueError(f"{path}: missing metadata header line")
-        meta = TraceMeta.from_dict(head["meta"])
-        trace = Trace(meta)
-        for line_no, line in enumerate(f, start=2):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                trace.append(_record_from_dict(json.loads(line)))
-            except (json.JSONDecodeError, TypeError, ValueError) as exc:
-                raise ValueError(f"{path}:{line_no}: bad trace record: {exc}") from exc
-    return trace
+        return _read_jsonl_stream(f, str(path))
+
+
+def trace_to_jsonl_bytes(trace: Trace, compress: bool = True) -> bytes:
+    """Serialize a trace to JSONL bytes (gzip-compressed by default).
+
+    This is the persistent run cache's payload format: identical to the
+    on-disk JSONL files but round-tripped in memory, so cache writes are
+    a single atomic file operation.
+    """
+    buf = io.StringIO()
+    _write_jsonl_stream(trace, buf)
+    data = buf.getvalue().encode("utf-8")
+    if compress:
+        # mtime=0 keeps the payload a pure function of the trace content
+        # (content-addressed stores must not embed wall-clock time).
+        data = gzip.compress(data, mtime=0)
+    return data
+
+
+def trace_from_jsonl_bytes(data: bytes) -> Trace:
+    """Inverse of :func:`trace_to_jsonl_bytes`; auto-detects compression."""
+    if data[:2] == _GZIP_MAGIC:
+        data = gzip.decompress(data)
+    return _read_jsonl_stream(io.StringIO(data.decode("utf-8")),
+                              "<trace bytes>")
 
 
 def write_trace_csv(trace: Trace, path: str | Path) -> None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
@@ -12,6 +13,24 @@ from repro.sim.scenario import Scenario, standard_scenarios
 from repro.trace.schema import Trace, TraceMeta, TraceRecord
 
 DT = 0.05
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache(tmp_path_factory):
+    """Run the whole suite against a throwaway persistent-cache dir.
+
+    Tests must neither depend on nor pollute the user's
+    ``~/.cache/adassure``; results also stay reproducible when a stale
+    cache from an older code revision exists on the machine.
+    """
+    old = os.environ.get("ADASSURE_CACHE_DIR")
+    os.environ["ADASSURE_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("adassure-cache"))
+    yield
+    if old is None:
+        os.environ.pop("ADASSURE_CACHE_DIR", None)
+    else:
+        os.environ["ADASSURE_CACHE_DIR"] = old
 
 
 def make_record(step: int = 0, t: float | None = None, **kwargs) -> TraceRecord:

@@ -32,6 +32,27 @@ class TestOnlineMonitor:
         report = monitor.finish()
         assert report.summaries["T1"].fired
 
+    def test_empty_stream_finish_well_formed(self):
+        """Regression: finishing with zero records must return a clean
+        zero-duration report, not crash or leak a bogus duration."""
+        monitor = OnlineMonitor(default_catalog())
+        report = monitor.finish()
+        assert report.duration == 0.0
+        assert report.violations == []
+        assert not report.any_fired
+        assert set(report.summaries) == {a.assertion_id
+                                         for a in default_catalog()}
+        assert report.first_violation_time() is None
+        assert report.evidence() == {aid: 0.0 for aid in report.summaries}
+
+    def test_single_record_duration_matches_trace_semantics(self):
+        """One record spans no time: duration 0.0, exactly like
+        Trace.duration for a sub-two-record trace."""
+        monitor = OnlineMonitor([bound_assertion()])
+        monitor.feed(make_record(0, t=5.0))
+        report = monitor.finish()
+        assert report.duration == 0.0
+
     def test_duplicate_ids_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
             OnlineMonitor([bound_assertion(), bound_assertion()])

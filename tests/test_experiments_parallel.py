@@ -1,0 +1,82 @@
+"""Parallel grid execution must be indistinguishable from serial.
+
+Every run is fully seeded, so fanning grid points over a process pool may
+only change wall-clock time — never a single byte of any table.  These
+tests disable the disk cache so the ``workers=4`` passes genuinely
+execute in pool workers instead of being served from the cache layers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.e1_detection import build_detection_matrix
+from repro.experiments.e2_latency import build_latency_table
+from repro.experiments.e4_diagnosis import build_diagnosis_accuracy
+from repro.experiments.runner import clear_cache, run_grid
+from repro.experiments.stats import STATS
+
+GRID = dict(scenarios=("s_curve",), controllers=("pure_pursuit",),
+            attacks=("gps_bias", "odom_scale"), seeds=(1, 7),
+            onset=5.0, duration=12.0)
+
+TINY = ExperimentConfig(
+    seeds=(1, 7),
+    attacks=("gps_bias", "gps_drift", "odom_scale"),
+    trace_scenarios=("s_curve",),
+    attack_onset=5.0,
+    duration=15.0,
+)
+
+
+@pytest.fixture()
+def no_cache(monkeypatch):
+    """Memo cleared, disk layer off — every pass simulates from scratch."""
+    monkeypatch.setenv("ADASSURE_CACHE", "0")
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestGridDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, no_cache):
+        serial = run_grid(workers=1, **GRID)
+        assert STATS.last.workers == 1
+        clear_cache()
+        parallel = run_grid(workers=4, **GRID)
+        assert STATS.last.workers > 1
+        assert STATS.last.executed == len(serial)
+        assert len(parallel) == len(serial)
+        for s, p in zip(serial, parallel):
+            assert (s.scenario, s.controller, s.attack, s.seed) == \
+                   (p.scenario, p.controller, p.attack, p.seed)
+            assert p.result.trace.records == s.result.trace.records
+            assert p.result.metrics == s.result.metrics
+            assert p.report.fired_ids == s.report.fired_ids
+            assert p.report.violations == s.report.violations
+            assert ([d.cause for d in p.diagnosis.ranking]
+                    == [d.cause for d in s.diagnosis.ranking])
+
+    def test_parallel_results_enter_both_cache_layers(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("ADASSURE_CACHE", raising=False)
+        clear_cache()
+        run_grid(workers=4, **GRID)
+        assert len(list(tmp_path.rglob("*.scored.pkl"))) == 4
+        run_grid(workers=4, **GRID)  # all four points now memo hits
+        assert STATS.last.memo_hits == 4
+        assert STATS.last.executed == 0
+        clear_cache()
+
+
+@pytest.mark.parametrize("builder", [build_detection_matrix,
+                                     build_latency_table,
+                                     build_diagnosis_accuracy],
+                         ids=["e1", "e2", "e4"])
+def test_tables_byte_identical_serial_vs_parallel(builder, no_cache):
+    serial = builder(TINY, workers=1)
+    clear_cache()
+    parallel = builder(TINY, workers=4)
+    assert parallel.render() == serial.render()
