@@ -1,0 +1,45 @@
+"""Bench E14 (extension) — Table 10: graceful degradation under faults."""
+
+from conftest import run_and_print
+
+from repro.experiments import build_degradation_table
+
+
+def test_e14_degradation(benchmark, quick_config):
+    table = run_and_print(benchmark, build_degradation_table, quick_config)
+    rows = {(r[0], r[1]): r for r in table.rows}
+
+    def frac(cell):
+        num, den = cell.split("/")
+        return int(num) / int(den)
+
+    # Extension-shape claims.  Nominal runs are clean for both stacks:
+    for stack in ("baseline", "supervised"):
+        row = rows[("none", stack)]
+        assert frac(row[3]) == 0.0 and row[4] == "-"
+        assert all(frac(row[i]) == 0.0 for i in (5, 6, 7))
+
+    # gps_freeze is catastrophic for the unprotected stack (a frozen fix
+    # drags the EKF off the route; A1 and A21 fire) while the supervisor
+    # times the channel out and safe-stops inside the lane:
+    frozen = rows[("gps_freeze", "baseline")]
+    assert float(frozen[2]) > 2.5
+    assert frac(frozen[5]) == 1.0 and frac(frozen[6]) == 1.0
+    saved = rows[("gps_freeze", "supervised")]
+    assert float(saved[2]) < 2.0
+    assert saved[4] != "-"
+    assert all(frac(saved[i]) == 0.0 for i in (5, 6, 7))
+
+    # A NaN burst crashes the unprotected stack outright; the supervisor
+    # quarantines it and completes the (stopped) run:
+    assert frac(rows[("gps_nan", "baseline")][3]) == 1.0
+    nan_saved = rows[("gps_nan", "supervised")]
+    assert frac(nan_saved[3]) == 0.0 and float(nan_saved[2]) < 2.0
+
+    # Correlated gps+compass loss: the unprotected stack keeps cruising
+    # on dead reckoning (A22 fires); the supervisor stops within ~1 s:
+    combo = "gps_dropout+compass_dropout"
+    assert frac(rows[(combo, "baseline")][7]) == 1.0
+    combo_saved = rows[(combo, "supervised")]
+    assert frac(combo_saved[7]) == 0.0
+    assert combo_saved[4] != "-" and float(combo_saved[4]) < 2.0

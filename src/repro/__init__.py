@@ -24,11 +24,20 @@ from repro.attacks import (
     make_attack,
     standard_attack,
 )
+from repro.faults import (
+    FaultCampaign,
+    combined_fault,
+    make_fault,
+    standard_fault,
+)
 from repro.sim import RunResult, Scenario, run_scenario, standard_scenarios
 from repro.sim.scenario import acc_scenario
 from repro.trace import Trace, compute_metrics, diff_traces
 
-__version__ = "1.0.0"
+# 1.1: fault injection + degradation supervisor extend the trace schema
+# (fault/supervisor ground-truth channels), which also salts the run
+# cache — 1.0 entries are invalidated rather than misread.
+__version__ = "1.1.0"
 
 __all__ = [
     "run_scenario",
@@ -40,6 +49,10 @@ __all__ = [
     "combined_attack",
     "make_attack",
     "AttackCampaign",
+    "standard_fault",
+    "combined_fault",
+    "make_fault",
+    "FaultCampaign",
     "Trace",
     "compute_metrics",
     "diff_traces",

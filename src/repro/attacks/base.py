@@ -94,6 +94,15 @@ class Attack:
     def observe_gps(self, t: float, fix: GpsFix) -> None:
         """See every (pre-attack-window) GPS fix; default ignores it."""
 
+    def observe(self, t: float, value) -> None:
+        """See every pre-injection message on this injector's channel.
+
+        The engine calls this for injectors whose :attr:`channel` matches
+        the message, *before* any hook runs and regardless of whether the
+        window is active — freeze/replay fault models use it to capture
+        the last healthy value.  Default ignores the message.
+        """
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(name={self.name!r}, channel={self.channel!r}, "

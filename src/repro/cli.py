@@ -2,10 +2,11 @@
 
 Commands:
 
-* ``run`` — simulate one scenario/controller/attack, check it, diagnose it,
-  and print the debugging report (optionally save the trace).
+* ``run`` — simulate one scenario/controller/attack (and/or benign sensor
+  fault), check it, diagnose it, and print the debugging report
+  (optionally save the trace).
 * ``check`` — run the assertion catalog over a saved trace file.
-* ``experiment`` — regenerate one or all evaluation tables (e1..e13),
+* ``experiment`` — regenerate one or all evaluation tables (e1..e14),
   optionally in parallel (``--workers``) and with campaign stats
   (``--stats``).
 * ``cache`` — inspect (``stats``) or wipe (``clear``) the persistent
@@ -13,7 +14,12 @@ Commands:
 * ``diff`` — compare two saved traces and print the divergence timeline.
 * ``calibrate`` — fit assertion thresholds on nominal trace files and save
   a catalog spec.
-* ``list`` — show available scenarios, controllers, attacks, assertions.
+* ``faults`` — list the benign fault classes (``adassure faults list``).
+* ``list`` — show available scenarios, controllers, attacks, faults,
+  assertions.
+
+Invalid inputs (negative intensities, onsets past the scenario end, empty
+seed lists) exit with status 2 and an actionable message on stderr.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.core.catalog import CATALOG_IDS, default_catalog, make_assertion
 from repro.core.checker import check_trace
 from repro.core.diagnosis import diagnose
 from repro.core.report import render_check_report, render_diagnosis
+from repro.faults.campaign import FAULT_CLASSES, standard_fault
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import acc_scenario, standard_scenarios
 from repro.trace.io import read_trace_jsonl, write_trace_jsonl
@@ -36,6 +43,12 @@ _CONTROLLERS = ("pure_pursuit", "stanley", "lqr", "mpc")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.intensity <= 0:
+        raise ValueError(
+            f"--intensity must be positive, got {args.intensity:g} "
+            "(1.0 is the nominal magnitude)")
+    if args.onset < 0:
+        raise ValueError(f"--onset must be >= 0, got {args.onset:g}")
     scenarios = standard_scenarios(seed=args.seed)
     if args.scenario == "acc_follow":
         scenario = acc_scenario(seed=args.seed)
@@ -45,10 +58,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown scenario {args.scenario!r}; try: "
               f"{', '.join(scenarios)}, acc_follow", file=sys.stderr)
         return 2
+    if args.onset >= scenario.duration:
+        raise ValueError(
+            f"--onset {args.onset:g}s is at or past the end of "
+            f"{args.scenario!r} (duration {scenario.duration:g}s); "
+            "the injection would never activate")
     campaign = standard_attack(args.attack, intensity=args.intensity,
                                onset=args.onset)
+    faults = standard_fault(args.fault, intensity=args.intensity,
+                            onset=args.onset)
     result = run_scenario(scenario, controller=args.controller,
-                          campaign=campaign)
+                          campaign=campaign, faults=faults,
+                          supervised=args.supervised)
     report = check_trace(result.trace, default_catalog())
     print(render_check_report(report))
     print()
@@ -79,6 +100,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.stats import STATS
 
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
+    if args.seeds is not None:
+        entries = [s for s in args.seeds.split(",") if s.strip()]
+        if not entries:
+            raise ValueError(
+                "--seeds must name at least one seed, e.g. --seeds 1,7,42")
+        try:
+            seeds = tuple(int(s) for s in entries)
+        except ValueError:
+            raise ValueError(
+                f"--seeds must be comma-separated integers, got {args.seeds!r}"
+            ) from None
+        import dataclasses
+        config = dataclasses.replace(config, seeds=seeds)
     ids = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
     STATS.reset()
     for exp_id in ids:
@@ -141,10 +175,22 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    print("benign fault classes (adassure run --fault <class>):")
+    for name in FAULT_CLASSES:
+        fault = standard_fault(name).faults[0]
+        model = type(fault).__name__
+        print(f"  {name:<18} [{fault.channel:<8}] {model}")
+    print("combine channels in experiments via "
+          "repro.faults.combined_fault (e.g. gps_dropout+compass_dropout)")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("scenarios:  " + ", ".join(standard_scenarios()) + ", acc_follow")
     print("controllers: " + ", ".join(_CONTROLLERS))
     print("attacks:     none, " + ", ".join(ATTACK_CLASSES))
+    print("faults:      none, " + ", ".join(FAULT_CLASSES))
     print("assertions:")
     for aid in CATALOG_IDS:
         a = make_assertion(aid)
@@ -166,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=_CONTROLLERS)
     p_run.add_argument("--attack", default="none",
                        choices=("none",) + tuple(ATTACK_CLASSES))
+    p_run.add_argument("--fault", default="none",
+                       choices=("none",) + tuple(FAULT_CLASSES),
+                       help="benign sensor fault to inject (composes "
+                            "with --attack; see 'adassure faults list')")
+    p_run.add_argument("--supervised", action="store_true",
+                       help="wrap the controller in the graceful-"
+                            "degradation supervisor (watchdog + safe stop)")
     p_run.add_argument("--intensity", type=float, default=1.0)
     p_run.add_argument("--onset", type=float, default=15.0)
     p_run.add_argument("--seed", type=int, default=7)
@@ -186,9 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workers", type=int, default=None, metavar="N",
                        help="parallel simulation workers (default: "
                             "$ADASSURE_WORKERS or cpu_count-1; 1 = serial)")
+    p_exp.add_argument("--seeds", metavar="S1,S2,...", default=None,
+                       help="override the config's seed list "
+                            "(comma-separated integers, non-empty)")
     p_exp.add_argument("--stats", action="store_true",
                        help="print campaign stats (phase times, cache "
-                            "hits, worker utilization) after the tables")
+                            "hits, retries/quarantine, worker "
+                            "utilization) after the tables")
     p_exp.add_argument("--stats-json", metavar="FILE",
                        help="with --stats: also dump machine-readable "
                             "stats JSON (e.g. BENCH_runner.json)")
@@ -213,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="where to write the catalog spec")
     p_cal.set_defaults(func=_cmd_calibrate)
 
+    p_faults = sub.add_parser(
+        "faults", help="list the benign sensor-fault classes")
+    p_faults.add_argument("action", choices=("list",))
+    p_faults.set_defaults(func=_cmd_faults)
+
     p_list = sub.add_parser("list", help="list scenarios/attacks/assertions")
     p_list.set_defaults(func=_cmd_list)
     return parser
@@ -220,7 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Input validation: every layer below raises ValueError with an
+        # actionable message (bad intensities, onsets past the scenario
+        # end, empty seed lists, malformed trace files).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

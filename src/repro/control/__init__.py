@@ -5,7 +5,10 @@ methodology targets: an EKF localization filter consuming the (attackable)
 sensor channels, four lateral controllers from the path-tracking
 literature, a PID longitudinal controller, and a
 :class:`~repro.control.follower.WaypointFollower` agent that combines them
-into the closed-loop policy the simulator drives.
+into the closed-loop policy the simulator drives.  The
+:class:`~repro.control.supervisor.SupervisedController` wrapper hardens
+that stack against benign sensor faults (:mod:`repro.faults`) with a
+staleness/NaN watchdog and a graceful-degradation policy.
 """
 
 from repro.control.acc import AccConfig, AccController
@@ -27,6 +30,11 @@ from repro.control.mpc import MpcController
 from repro.control.pid import PidSpeedController
 from repro.control.pure_pursuit import PurePursuitController
 from repro.control.stanley import StanleyController
+from repro.control.supervisor import (
+    SupervisedController,
+    SupervisorConfig,
+    make_supervised_follower,
+)
 
 __all__ = [
     "LateralController",
@@ -48,4 +56,7 @@ __all__ = [
     "ControllerDefect",
     "DefectiveController",
     "make_defect",
+    "SupervisedController",
+    "SupervisorConfig",
+    "make_supervised_follower",
 ]

@@ -1,0 +1,294 @@
+"""Graceful-degradation supervisor for the waypoint follower.
+
+The baseline :class:`~repro.control.follower.WaypointFollower` consumes
+whatever the estimator gives it and assumes every sensor channel is
+alive — the realistic failure mode exposed by :mod:`repro.faults`.  The
+:class:`SupervisedController` wraps a follower with a per-channel
+staleness/NaN watchdog and a three-state degradation policy:
+
+* ``normal`` — all channels healthy; commands pass through unchanged.
+* ``dead_reckoning`` — a critical localization channel (GPS or compass)
+  is lost: the EKF coasts on the surviving channels, the supervisor caps
+  the target speed, and a recovery budget starts counting.
+* ``safe_stop`` — too many channels lost, or the dead-reckoning budget
+  expired without recovery: hold the last healthy steering command and
+  decelerate to a halt.  Latched for the rest of the run (a real stack
+  would hand off to a human / remote operator here).
+
+The watchdog quarantines two kinds of poisoned readings before they
+reach the estimator:
+
+* **NaN payloads** — a NaN that enters a Kalman update poisons the whole
+  state vector irreversibly (the unsupervised stack crashes outright on
+  a NaN-burst fault), so rejection must happen upstream;
+* **repeated samples** — a consecutive reading whose payload is
+  bit-identical to the previous one.  Every modeled sensor carries
+  continuous noise, so an exact repeat is a stale retransmission (a
+  wedged driver), never a fresh measurement.  Arrival-time watchdogs
+  are blind to freezes — the messages keep coming — which is exactly
+  how a frozen GPS drags an unsupervised estimator hundreds of meters
+  off route.
+
+A quarantined reading does not refresh the channel's watchdog, so a
+frozen channel times out just like a silent one.
+
+Assertions A21/A22 in :mod:`repro.core.catalog` encode the contract this
+supervisor is expected to satisfy; experiment E14 compares supervised
+vs. unsupervised stacks across the fault grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.control.acc import AccController
+from repro.control.base import ControlDecision, make_lateral_controller
+from repro.control.estimator import Estimate
+from repro.control.follower import SpeedProfile, WaypointFollower
+from repro.geom.polyline import Polyline
+
+if TYPE_CHECKING:
+    from repro.sim.sensors.compass import CompassReading
+    from repro.sim.sensors.gps import GpsFix
+    from repro.sim.sensors.imu import ImuReading
+    from repro.sim.sensors.odometry import OdometryReading
+    from repro.sim.sensors.radar import RadarReading
+
+__all__ = [
+    "MODE_NORMAL",
+    "MODE_DEAD_RECKONING",
+    "MODE_SAFE_STOP",
+    "SupervisorConfig",
+    "SupervisedController",
+    "make_supervised_follower",
+]
+
+MODE_NORMAL = "normal"
+MODE_DEAD_RECKONING = "dead_reckoning"
+MODE_SAFE_STOP = "safe_stop"
+
+_CRITICAL_CHANNELS = ("gps", "compass")
+"""Channels whose loss alone degrades localization to dead reckoning."""
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorConfig:
+    """Watchdog timeouts and degradation policy knobs.
+
+    Timeouts are per-channel staleness budgets in seconds, each a few
+    nominal sample intervals (GPS/compass 10 Hz, odometry 20 Hz, IMU
+    50 Hz) so sensor-rate jitter never trips the watchdog.
+    """
+
+    gps_timeout: float = 1.0
+    compass_timeout: float = 1.0
+    odom_timeout: float = 0.6
+    imu_timeout: float = 0.4
+    safe_stop_lost: int = 2
+    """Simultaneously lost channels that trigger an immediate safe stop."""
+    dead_reckoning_budget: float = 5.0
+    """Max seconds of dead reckoning before escalating to safe stop."""
+    degraded_speed: float = 4.0
+    """Target-speed cap while dead reckoning, m/s."""
+    safe_stop_decel: float = 3.0
+    """Deceleration used by the safe-stop ramp, m/s^2."""
+
+    def __post_init__(self) -> None:
+        timeouts = (self.gps_timeout, self.compass_timeout,
+                    self.odom_timeout, self.imu_timeout)
+        if any(tt <= 0 for tt in timeouts):
+            raise ValueError("watchdog timeouts must be positive")
+        if self.safe_stop_lost < 1:
+            raise ValueError("safe_stop_lost must be >= 1")
+        if self.dead_reckoning_budget <= 0 or self.safe_stop_decel <= 0:
+            raise ValueError(
+                "dead_reckoning_budget and safe_stop_decel must be positive")
+        if self.degraded_speed <= 0:
+            raise ValueError("degraded_speed must be positive")
+
+    def timeout(self, channel: str) -> float:
+        return {
+            "gps": self.gps_timeout,
+            "compass": self.compass_timeout,
+            "odometry": self.odom_timeout,
+            "imu": self.imu_timeout,
+        }[channel]
+
+
+def _has_nan(reading) -> bool:
+    """True if any payload field of a sensor reading is NaN."""
+    for f in dataclasses.fields(reading):
+        value = getattr(reading, f.name)
+        if isinstance(value, float) and math.isnan(value):
+            return True
+    return False
+
+
+def _payload(reading) -> tuple:
+    """Measurement fields of a reading, excluding the timestamp.
+
+    Used for repeated-sample detection; the timestamp is excluded so a
+    re-stamped replay of the same measurement still counts as a repeat.
+    """
+    return tuple(getattr(reading, f.name)
+                 for f in dataclasses.fields(reading) if f.name != "t")
+
+
+class SupervisedController:
+    """A :class:`WaypointFollower` hardened with a degradation supervisor.
+
+    Drop-in replacement for the follower in the engine loop: the engine
+    additionally routes raw sensor readings through
+    :meth:`filter_readings` *before* the estimator consumes them, which
+    is where the watchdog observes channel health and NaN readings are
+    quarantined.
+    """
+
+    def __init__(self, follower: WaypointFollower,
+                 config: SupervisorConfig | None = None):
+        self.follower = follower
+        self.config = config or SupervisorConfig()
+        self.reset()
+
+    @property
+    def name(self) -> str:
+        return f"supervised:{self.follower.name}"
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def lost_channels(self) -> tuple[str, ...]:
+        return self._lost
+
+    @property
+    def safe_stop_since(self) -> float | None:
+        """Time the safe stop engaged, or ``None`` if it never did."""
+        return self._safe_stop_since
+
+    def reset(self) -> None:
+        self.follower.reset()
+        self._mode = MODE_NORMAL
+        self._lost: tuple[str, ...] = ()
+        # The run start counts as "all channels fresh": every sensor
+        # delivers within its first sample interval, and seeding the
+        # watchdog at -inf would safe-stop the vehicle on the spot.
+        self._last_seen = {ch: 0.0 for ch in
+                           ("gps", "compass", "odometry", "imu")}
+        self._prev_payload: dict[str, tuple | None] = {
+            ch: None for ch in ("gps", "compass", "odometry", "imu")}
+        self._dr_since: float | None = None
+        self._safe_stop_since: float | None = None
+        self._held_steer = 0.0
+
+    # ------------------------------------------------------------------
+    def filter_readings(
+        self,
+        t: float,
+        *,
+        gps: "GpsFix | None" = None,
+        imu: "ImuReading | None" = None,
+        odom: "OdometryReading | None" = None,
+        compass: "CompassReading | None" = None,
+        radar: "RadarReading | None" = None,
+    ):
+        """Watchdog + NaN quarantine over one step's sensor readings.
+
+        Returns the ``(gps, imu, odom, compass, radar)`` tuple with NaN
+        readings replaced by ``None``, and advances the degradation
+        state machine to its mode for time ``t``.
+        """
+        checked = {}
+        for channel, reading in (("gps", gps), ("imu", imu),
+                                 ("odometry", odom), ("compass", compass)):
+            if reading is not None and _has_nan(reading):
+                reading = None  # quarantined; does not refresh the watchdog
+            if reading is not None:
+                payload = _payload(reading)
+                if payload == self._prev_payload[channel]:
+                    # Bit-identical to the previous sample: a stale
+                    # retransmission, not a measurement.  Quarantine it
+                    # and let the channel age toward its timeout.
+                    reading = None
+                else:
+                    self._prev_payload[channel] = payload
+                    self._last_seen[channel] = t
+            checked[channel] = reading
+        if radar is not None and _has_nan(radar):
+            radar = None
+
+        self._lost = tuple(
+            ch for ch in ("gps", "compass", "odometry", "imu")
+            if t - self._last_seen[ch] > self.config.timeout(ch)
+        )
+        self._advance_mode(t)
+        return (checked["gps"], checked["imu"], checked["odometry"],
+                checked["compass"], radar)
+
+    def _advance_mode(self, t: float) -> None:
+        if self._mode == MODE_SAFE_STOP:
+            return  # latched
+        if len(self._lost) >= self.config.safe_stop_lost:
+            self._enter_safe_stop(t)
+            return
+        if any(ch in self._lost for ch in _CRITICAL_CHANNELS):
+            if self._dr_since is None:
+                self._dr_since = t
+            if t - self._dr_since > self.config.dead_reckoning_budget:
+                self._enter_safe_stop(t)
+            else:
+                self._mode = MODE_DEAD_RECKONING
+            return
+        self._mode = MODE_NORMAL
+        self._dr_since = None
+
+    def _enter_safe_stop(self, t: float) -> None:
+        self._mode = MODE_SAFE_STOP
+        if self._safe_stop_since is None:
+            self._safe_stop_since = t
+
+    # ------------------------------------------------------------------
+    def decide(self, estimate: Estimate, route: Polyline, dt: float,
+               radar: "RadarReading | None" = None) -> ControlDecision:
+        """The follower's command, overridden per the degradation mode."""
+        decision = self.follower.decide(estimate, route, dt, radar=radar)
+        if self._mode == MODE_SAFE_STOP:
+            return dataclasses.replace(
+                decision,
+                steer_cmd=self._held_steer,
+                accel_cmd=-self.config.safe_stop_decel,
+                target_speed=0.0,
+            )
+        if self._mode == MODE_DEAD_RECKONING:
+            cap = self.config.degraded_speed
+            accel_cmd = decision.accel_cmd
+            if estimate.v > cap:
+                # Bleed speed off instead of letting the PID chase the
+                # cruise profile on a coasting estimate.
+                accel_cmd = min(accel_cmd, -1.0)
+            return dataclasses.replace(
+                decision,
+                accel_cmd=accel_cmd,
+                target_speed=min(decision.target_speed, cap),
+            )
+        self._held_steer = decision.steer_cmd
+        return decision
+
+
+def make_supervised_follower(
+    controller: str,
+    profile: SpeedProfile | None = None,
+    acc: AccController | None = None,
+    config: SupervisorConfig | None = None,
+) -> SupervisedController:
+    """A supervised follower around a named lateral controller."""
+    follower = WaypointFollower(
+        make_lateral_controller(controller),
+        profile=profile,
+        acc=acc,
+    )
+    return SupervisedController(follower, config=config)

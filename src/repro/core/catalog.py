@@ -16,6 +16,12 @@ ablation quantifies their complementary value):
   is made, steering does not limit-cycle or saturate persistently.
 * **actuation** (A16) — the plant executes what the controller commanded.
 
+A sixth, later-authored group scores *graceful degradation* under benign
+sensor faults (:mod:`repro.faults`): A21 bounds tracking error inside
+fault windows, A22 demands a safe-stop response to multi-sensor loss.
+Both read only trace channels, so they judge supervised and unsupervised
+stacks alike — experiment E14 is built on that symmetry.
+
 Every assertion documents its rationale, its threshold provenance, and the
 attack/fault signatures it is designed to catch.
 """
@@ -668,6 +674,98 @@ class ActuationConsistencyAssertion(TraceAssertion):
         return 1.0 - error / self.tolerance
 
 
+class DegradedTrackingAssertion(TraceAssertion):
+    """A21 — cross-track error stays bounded inside sensor-fault windows.
+
+    The graceful-degradation contract: a single-sensor fault may cost
+    tracking precision but must not cost the lane.  Gated on the trace's
+    fault ground truth (``fault_active``), so it is silent on nominal and
+    attack-only runs; the bound is tighter than A1's because a degraded
+    stack is expected to slow down rather than cut corners.  Stands down
+    once a supervisor's safe stop owns the vehicle — the trace-schema
+    ``supervisor_mode`` value ``"safe_stop"`` — because a parked vehicle's
+    offset from the route is A22's business, not a tracking failure.
+    """
+
+    def __init__(self, bound: float = 2.0):
+        super().__init__(
+            "A21", "degraded-mode tracking", "behaviour",
+            settle_time=_SETTLE, debounce_on=3, debounce_off=20,
+        )
+        self.bound = bound
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if not record.fault_active:
+            return None
+        if record.supervisor_mode == "safe_stop":
+            return None
+        return 1.0 - abs(record.cte_true) / self.bound
+
+
+class SafeStopEngagementAssertion(TraceAssertion):
+    """A22 — multi-sensor loss must provoke a stop within a grace period.
+
+    Re-derives channel staleness from the ``*_fresh`` trace flags rather
+    than trusting any supervisor state, so it scores the *vehicle's
+    response* symmetrically for supervised and unsupervised stacks: once
+    two or more channels have been stale past their per-channel budget
+    for longer than the engagement grace, the vehicle must either be
+    braking (``accel_cmd`` at or below the braking floor) or already
+    at rest.  An unsupervised stack that keeps cruising on a coasting
+    estimate fires this within ``grace`` seconds of the loss.
+
+    Staleness budgets mirror the supervisor defaults (a few nominal
+    sample intervals per channel), and the grace covers the watchdog
+    timeout plus one control-loop reaction.
+    """
+
+    _STALE_AFTER = {"gps": 1.0, "compass": 1.0, "odometry": 0.6, "imu": 0.4}
+
+    def __init__(self, lost_channels: int = 2, grace: float = 1.5,
+                 stop_speed: float = 0.5, brake_floor: float = 0.5):
+        super().__init__(
+            "A22", "safe-stop engagement", "liveness",
+            settle_time=_SETTLE, debounce_on=3, debounce_off=10,
+        )
+        self.lost_channels = lost_channels
+        self.grace = grace
+        self.stop_speed = stop_speed
+        self.brake_floor = brake_floor
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._last_fresh: dict[str, float] | None = None
+        self._stale_since: float | None = None
+
+    def margin(self, record: TraceRecord) -> float | None:
+        if self._last_fresh is None:
+            self._last_fresh = {ch: record.t for ch in self._STALE_AFTER}
+        fresh = {
+            "gps": record.gps_fresh,
+            "compass": record.compass_fresh,
+            "odometry": record.odom_fresh,
+            "imu": record.imu_fresh,
+        }
+        for channel, is_fresh in fresh.items():
+            if is_fresh:
+                self._last_fresh[channel] = record.t
+        stale = sum(
+            record.t - self._last_fresh[ch] > budget
+            for ch, budget in self._STALE_AFTER.items()
+        )
+        if stale < self.lost_channels:
+            self._stale_since = None
+            return None
+        if self._stale_since is None:
+            self._stale_since = record.t
+        if record.t - self._stale_since <= self.grace:
+            return None  # engagement window: the stop may still be coming
+        return max(
+            1.0 - record.true_v / self.stop_speed,
+            -record.accel_cmd / self.brake_floor - 1.0,
+        )
+
+
 # ---------------------------------------------------------------------------
 # Factory
 # ---------------------------------------------------------------------------
@@ -761,6 +859,8 @@ _FACTORIES: dict[str, object] = {
     "A18": RadarJumpAssertion,
     "A19": RadarRateConsistencyAssertion,
     "A20": ControlResponsivenessAssertion,
+    "A21": DegradedTrackingAssertion,
+    "A22": SafeStopEngagementAssertion,
 }
 
 CATALOG_IDS: tuple[str, ...] = tuple(_FACTORIES)
@@ -772,6 +872,7 @@ CATALOG_STAGES: dict[str, tuple[str, ...]] = {
     "inertial_innovation": ("A8", "A9G", "A9S", "A9C"),
     "stability_actuation": ("A10", "A11", "A13", "A16", "A20"),
     "radar_acc": ("A17", "A18", "A19"),
+    "degradation": ("A21", "A22"),
 }
 """The methodology's staged catalog growth (E9 refinement loop order)."""
 

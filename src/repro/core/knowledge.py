@@ -247,6 +247,20 @@ def default_knowledge_base() -> KnowledgeBase:
                 "A15": 0.30,
             },
         ),
+        CauseProfile(
+            cause="sensor_fault",
+            description="benign delivery fault: dropout / freeze / NaN burst",
+            fire_probs={
+                "A22": 0.75,  # unprotected stacks keep cruising on the loss
+                "A21": 0.65,  # tracking degrades inside the fault window
+                "A6": 0.60,   # a frozen or silent fix stops moving
+                "A9G": 0.45,  # innovations grow while the EKF coasts
+                "A4": 0.40,
+                "A10": 0.35,
+                "A1": 0.35,
+                "A15": 0.40,
+            },
+        ),
     ]
     return KnowledgeBase(profiles)
 

@@ -32,6 +32,7 @@ from repro.experiments.e10_mitigation import build_mitigation_table
 from repro.experiments.e11_multi_attack import build_multi_attack_table
 from repro.experiments.e12_acc import build_acc_debugging
 from repro.experiments.e13_defects import build_defect_debugging
+from repro.experiments.e14_degradation import build_degradation_table
 
 __all__ = [
     "ExperimentConfig",
@@ -58,6 +59,7 @@ __all__ = [
     "build_multi_attack_table",
     "build_acc_debugging",
     "build_defect_debugging",
+    "build_degradation_table",
 ]
 
 ALL_EXPERIMENTS = {
@@ -74,10 +76,11 @@ ALL_EXPERIMENTS = {
     "e11": build_multi_attack_table,
     "e12": build_acc_debugging,
     "e13": build_defect_debugging,
+    "e14": build_degradation_table,
 }
 """Experiment id -> builder, for the CLI and the benchmark suite.
 
-``e1``-``e9`` reproduce the reconstructed paper evaluation; ``e10``/``e11``
-are extensions (mitigation, concurrent attacks) documented in
-EXPERIMENTS.md.
+``e1``-``e9`` reproduce the reconstructed paper evaluation; ``e10``-``e14``
+are extensions (mitigation, concurrent attacks, ACC, controller defects,
+fault-degradation) documented in EXPERIMENTS.md.
 """

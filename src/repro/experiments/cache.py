@@ -28,6 +28,7 @@ import json
 import os
 import pickle
 import shutil
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -35,11 +36,16 @@ import repro
 from repro.core.spec import catalog_fingerprint
 from repro.core.verdicts import CheckReport
 from repro.sim.engine import RunResult
-from repro.trace.io import trace_from_jsonl_bytes, trace_to_jsonl_bytes
+from repro.trace.io import (
+    TraceTruncationWarning,
+    trace_from_jsonl_bytes,
+    trace_to_jsonl_bytes,
+)
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheCounters",
+    "CheckpointManifest",
     "RunCache",
     "cache_key",
     "cache_key_params",
@@ -178,7 +184,12 @@ class RunCache:
         trace_path = self._trace_path(key)
         scored_path = self._scored_path(key)
         try:
-            trace = trace_from_jsonl_bytes(trace_path.read_bytes())
+            with warnings.catch_warnings():
+                # Entries are written atomically, so a truncated payload
+                # here is corruption, not an interrupted write — the
+                # salvage path must not quietly serve a shortened trace.
+                warnings.simplefilter("error", TraceTruncationWarning)
+                trace = trace_from_jsonl_bytes(trace_path.read_bytes())
             with scored_path.open("rb") as f:
                 scored = pickle.load(f)
             result = RunResult(
@@ -226,8 +237,13 @@ class RunCache:
             self._atomic_write(self._scored_path(key),
                                pickle.dumps(scored, protocol=pickle.HIGHEST_PROTOCOL))
             self.counters.stores += 1
-        except OSError:
-            pass
+        except Exception:
+            # Disk full, permissions, an unpicklable report object —
+            # storing is an optimization, so fail toward "miss next
+            # time", never toward crashing the campaign.  Drop any
+            # half-written pair so load() cannot see a torn entry.
+            self.counters.errors += 1
+            self.evict(key)
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
@@ -264,3 +280,84 @@ class RunCache:
         if self.root.exists():
             shutil.rmtree(self.root, ignore_errors=True)
         return removed
+
+
+class CheckpointManifest:
+    """Progress ledger for one grid campaign, persisted under the cache.
+
+    The per-point disk cache already makes an interrupted campaign
+    resumable — completed points hit the cache on the next invocation.
+    The manifest adds the *campaign-level* record the cache cannot
+    express: which grid this was, how far it got, and which points were
+    quarantined after exhausting their retries.  ``adassure`` campaigns
+    write it incrementally (after every completed point), so a killed
+    process leaves an accurate ledger behind.
+
+    Layout: ``<cache root>/checkpoints/<grid id>.json`` where the grid id
+    hashes the full point list with the usual version/catalog salt.
+    """
+
+    def __init__(self, path: Path, grid_id: str, total: int):
+        self.path = path
+        self.grid_id = grid_id
+        self.total = total
+        self.completed: list[list] = []
+        self.quarantined: list[dict] = []
+        self._seen: set[tuple] = set()
+        try:
+            prior = json.loads(self.path.read_text(encoding="utf-8"))
+            if prior.get("grid_id") == grid_id:
+                self.completed = list(prior.get("completed", []))
+                self.quarantined = list(prior.get("quarantined", []))
+                self._seen = {tuple(p) for p in self.completed}
+        except (OSError, ValueError):
+            pass  # absent or corrupt: start a fresh ledger
+
+    @staticmethod
+    def for_grid(cache: "RunCache | None",
+                 grid: list[tuple]) -> "CheckpointManifest | None":
+        """The manifest for this grid, or ``None`` with the cache off."""
+        if cache is None:
+            return None
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "code": repro.__version__,
+            "grid": [list(point) for point in grid],
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        grid_id = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+        path = cache.root / "checkpoints" / (grid_id + ".json")
+        return CheckpointManifest(path, grid_id, total=len(grid))
+
+    @property
+    def resumed(self) -> int:
+        """Points already ledgered by a previous (interrupted) campaign."""
+        return len(self._seen)
+
+    def complete(self, point: tuple) -> None:
+        if point in self._seen:
+            return
+        self._seen.add(point)
+        self.completed.append(list(point))
+        self.flush()
+
+    def quarantine(self, point: tuple, error: str) -> None:
+        self.quarantined.append({"point": list(point), "error": error})
+        self.flush()
+
+    def flush(self) -> None:
+        """Best-effort atomic write; IO errors never fail a campaign."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "grid_id": self.grid_id,
+                "total": self.total,
+                "completed": self.completed,
+                "quarantined": self.quarantined,
+            }
+            tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            pass

@@ -18,6 +18,23 @@ Because every run is fully seeded, parallel and serial execution produce
 bit-identical results; workers only change wall-clock time.  Each
 ``run_grid`` call reports timings and hit counts into
 :data:`repro.experiments.stats.STATS`.
+
+The pool layer is **crash-tolerant**: a campaign of thousands of points
+must survive one sick point or one dead worker.  Concretely,
+
+* every pool point gets a wall-clock budget (``point_timeout=`` /
+  ``ADASSURE_POINT_TIMEOUT``; unlimited by default) — an overdue point is
+  abandoned to the pool and re-run serially;
+* a collapsed pool (``BrokenProcessPool``, e.g. a worker OOM-killed or
+  ``os._exit``-ing) is not fatal: the surviving points re-run serially;
+* failing points are retried with exponential backoff
+  (``ADASSURE_POINT_RETRIES``, default 2) and finally **quarantined** —
+  reported in :class:`~repro.experiments.stats.GridStats` (and
+  ``--stats``) instead of aborting the campaign;
+* completed points are checkpointed to the disk cache *as they finish*,
+  with a campaign-level :class:`~repro.experiments.cache.CheckpointManifest`
+  ledger, so an interrupted campaign resumes from where it died and
+  re-runs only the missing points.
 """
 
 from __future__ import annotations
@@ -27,14 +44,20 @@ import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.attacks.campaign import standard_attack
 from repro.core.checker import check_trace
 from repro.core.diagnosis import DiagnosisResult, diagnose
 from repro.core.spec import catalog_fingerprint
 from repro.core.verdicts import CheckReport
-from repro.experiments.cache import RunCache, cache_key, cache_key_params
+from repro.experiments.cache import (
+    CheckpointManifest,
+    RunCache,
+    cache_key,
+    cache_key_params,
+)
 from repro.experiments.stats import STATS, GridStats
 from repro.sim.engine import RunResult, run_scenario
 from repro.sim.scenario import standard_scenarios
@@ -50,6 +73,40 @@ __all__ = [
 
 DEFAULT_MEMO_LIMIT = 512
 """Default bound on the in-process memo (``ADASSURE_MEMO_LIMIT`` env)."""
+
+DEFAULT_POINT_RETRIES = 2
+"""Default retry budget per failing point (``ADASSURE_POINT_RETRIES``)."""
+
+_RETRY_BACKOFF = 0.25
+"""Base of the exponential retry backoff, seconds (doubles per attempt)."""
+
+
+def _point_timeout(timeout: float | None) -> float | None:
+    """Per-point wall-clock budget: argument > env > unlimited."""
+    if timeout is None:
+        env = os.environ.get("ADASSURE_POINT_TIMEOUT")
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                timeout = None
+    if timeout is not None and timeout <= 0:
+        return None
+    return timeout
+
+
+def _point_retries(retries: int | None) -> int:
+    """Per-point retry budget: argument > env > default."""
+    if retries is None:
+        env = os.environ.get("ADASSURE_POINT_RETRIES")
+        if env:
+            try:
+                retries = int(env)
+            except ValueError:
+                retries = None
+    if retries is None:
+        retries = DEFAULT_POINT_RETRIES
+    return max(int(retries), 0)
 
 
 @dataclass(slots=True)
@@ -181,6 +238,77 @@ def _execute_point(point: tuple) -> tuple[tuple, GridRun, dict]:
     return point, run, phases
 
 
+def _run_pool(points: list[tuple], n_workers: int, merge, stats,
+              timeout: float | None) -> list[tuple]:
+    """Fan points over a process pool; returns ``(point, failures)`` leftovers.
+
+    The pool half of the fault-tolerance contract: a point that exceeds
+    ``timeout`` is abandoned (its worker may be hung, so the pool is
+    dropped without joining it), a point that raises comes back with one
+    failure on its ledger, and a pool collapse
+    (:class:`BrokenProcessPool` — a worker OOM-killed or dying mid-task)
+    returns every unfinished point.  The caller re-runs all leftovers on
+    the serial path, which owns retries and quarantine.
+    """
+    leftover: list[tuple] = []
+    abandoned = False
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    try:
+        futures = [(pool.submit(_execute_point, point), point)
+                   for point in points]
+        for index, (future, point) in enumerate(futures):
+            try:
+                merge(*future.result(timeout=timeout))
+            except FutureTimeout:
+                stats.timeouts += 1
+                leftover.append((point, 0))
+                abandoned = True
+            except BrokenProcessPool:
+                stats.pool_failures += 1
+                for late_future, late_point in futures[index:]:
+                    if (late_future.done() and not late_future.cancelled()
+                            and late_future.exception() is None):
+                        merge(*late_future.result())
+                    else:
+                        leftover.append((late_point, 0))
+                break
+            except Exception:
+                leftover.append((point, 1))
+    finally:
+        # A hung worker must not hang the campaign: once a point has been
+        # abandoned, drop the pool without waiting for its processes.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    return leftover
+
+
+def _run_serial(items: list[tuple], merge, stats, retries: int,
+                manifest: CheckpointManifest | None) -> None:
+    """Execute ``(point, failures)`` pairs with bounded retry + quarantine.
+
+    Each point gets ``retries`` re-executions beyond its first attempt
+    (failures inherited from the pool count against the budget), with
+    exponential backoff between attempts.  A point that exhausts the
+    budget is quarantined — recorded in ``stats`` and the checkpoint
+    manifest — instead of aborting the campaign.
+    """
+    for point, failures in items:
+        while True:
+            if failures:
+                stats.retries += 1
+                time.sleep(_RETRY_BACKOFF * (2 ** (failures - 1)))
+            try:
+                merge(*_execute_point(point))
+                break
+            except Exception as exc:
+                failures += 1
+                if failures > retries:
+                    error = f"{type(exc).__name__}: {exc}"
+                    stats.quarantined.append((point, error))
+                    if manifest is not None:
+                        manifest.quarantine(point, error)
+                    break
+
+
 def run_scored(params: dict, simulate) -> tuple[RunResult, CheckReport]:
     """Cached execution of one *off-grid* closed-loop run.
 
@@ -253,6 +381,8 @@ def run_grid(
     onset: float = 15.0,
     duration: float | None = None,
     workers: int | None = None,
+    point_timeout: float | None = None,
+    retries: int | None = None,
 ) -> list[GridRun]:
     """Run (and score) the full cartesian grid.
 
@@ -260,7 +390,16 @@ def run_grid(
     identical regardless of ``workers`` — the pool only changes how the
     uncached points are executed.  Hits are served from the in-process
     memo first, then from the persistent disk cache; freshly executed
-    points are merged back into both layers.
+    points are merged back into both layers *as they complete* (the
+    incremental checkpoint an interrupted campaign resumes from).
+
+    Execution is crash-tolerant: slow points are re-run serially after
+    ``point_timeout`` seconds, a collapsed worker pool degrades to serial
+    execution of the surviving points, and a point that still fails after
+    ``retries`` re-executions is quarantined — dropped from the returned
+    list and reported via :data:`~repro.experiments.stats.STATS` — rather
+    than aborting the campaign.  Callers that require the full grid can
+    compare ``len(result)`` against their request.
     """
     wall_start = time.perf_counter()
     stats = GridStats(workers=1)
@@ -276,6 +415,7 @@ def run_grid(
 
     cache = RunCache.from_env()
     catalog = catalog_fingerprint() if cache is not None else None
+    manifest = CheckpointManifest.for_grid(cache, grid)
 
     # Resolve every unique point through memo -> disk -> pending list.
     # `resolved` pins this grid's runs so LRU eviction mid-call is safe.
@@ -290,6 +430,8 @@ def run_grid(
         if run is not None:
             resolved[point] = run
             stats.memo_hits += 1
+            if manifest is not None:
+                manifest.complete(point)
             continue
         if cache is not None:
             entry = cache.load(cache_key(*point, catalog=catalog))
@@ -303,22 +445,15 @@ def run_grid(
                 resolved[point] = run
                 _memo_put(point, run)
                 stats.disk_hits += 1
+                if manifest is not None:
+                    manifest.complete(point)
                 continue
         pending.append(point)
 
-    # Execute the misses: serially, or fanned out over a process pool.
-    n_workers = resolve_workers(workers)
-    use_pool = n_workers > 1 and len(pending) > 1
-    stats.workers = min(n_workers, len(pending)) if use_pool else 1
-    if use_pool:
-        with ProcessPoolExecutor(max_workers=stats.workers) as pool:
-            executed = list(pool.map(_execute_point, pending))
-    else:
-        executed = [_execute_point(point) for point in pending]
-
-    # Merge worker results back into both cache layers, in grid order so
-    # the merge itself is deterministic.
-    for point, run, phases in executed:
+    def merge(point: tuple, run: GridRun, phases: dict) -> None:
+        # Incremental checkpoint: every completed point lands in the
+        # memo, the disk cache and the manifest as soon as it finishes,
+        # so an interrupted campaign re-runs only what is missing.
         resolved[point] = run
         _memo_put(point, run)
         if cache is not None:
@@ -327,10 +462,25 @@ def run_grid(
         stats.executed += 1
         for phase, seconds in phases.items():
             stats.phase_time[phase] += seconds
+        if manifest is not None:
+            manifest.complete(point)
+
+    # Execute the misses: serially, or fanned out over a crash-tolerant
+    # process pool.  Pool leftovers (timed-out points, collapse
+    # survivors, first-failure points) fall back to the serial path,
+    # which owns retries and quarantine.
+    n_workers = resolve_workers(workers)
+    use_pool = n_workers > 1 and len(pending) > 1
+    stats.workers = min(n_workers, len(pending)) if use_pool else 1
+    serial_items = [(point, 0) for point in pending]
+    if use_pool:
+        serial_items = _run_pool(pending, stats.workers, merge, stats,
+                                 timeout=_point_timeout(point_timeout))
+    _run_serial(serial_items, merge, stats, _point_retries(retries), manifest)
 
     if cache is not None:
         stats.disk_errors = cache.counters.errors
     stats.wall_time = time.perf_counter() - wall_start
     STATS.record(stats)
 
-    return [resolved[point] for point in grid]
+    return [resolved[point] for point in grid if point in resolved]

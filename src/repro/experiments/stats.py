@@ -43,6 +43,14 @@ class GridStats:
     memo_hits: int = 0
     disk_hits: int = 0
     disk_errors: int = 0
+    retries: int = 0
+    """Point re-executions after a failure or timeout."""
+    timeouts: int = 0
+    """Points whose pool execution exceeded the wall-clock budget."""
+    pool_failures: int = 0
+    """Worker-pool collapses (``BrokenProcessPool``) recovered serially."""
+    quarantined: list = field(default_factory=list)
+    """Points that kept failing after every retry: ``(point, error)``."""
     workers: int = 1
     wall_time: float = 0.0
     phase_time: dict = field(default_factory=lambda: dict.fromkeys(PHASES, 0.0))
@@ -71,6 +79,10 @@ class GridStats:
         self.memo_hits += other.memo_hits
         self.disk_hits += other.disk_hits
         self.disk_errors += other.disk_errors
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.pool_failures += other.pool_failures
+        self.quarantined.extend(other.quarantined)
         self.workers = max(self.workers, other.workers)
         self.wall_time += other.wall_time
         for phase in PHASES:
@@ -83,6 +95,13 @@ class GridStats:
             "memo_hits": self.memo_hits,
             "disk_hits": self.disk_hits,
             "disk_errors": self.disk_errors,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_failures": self.pool_failures,
+            "quarantined": [
+                {"point": list(point), "error": error}
+                for point, error in self.quarantined
+            ],
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "workers": self.workers,
             "wall_time_s": round(self.wall_time, 4),
@@ -106,6 +125,16 @@ class GridStats:
         ]
         for phase in PHASES:
             lines.append(f"  {phase:<9}: {self.phase_time[phase]:.2f}s")
+        if self.retries or self.timeouts or self.pool_failures:
+            lines.append(
+                f"recovered   : {self.retries} retrie(s), "
+                f"{self.timeouts} timeout(s), "
+                f"{self.pool_failures} pool failure(s)"
+            )
+        if self.quarantined:
+            lines.append(f"quarantined : {len(self.quarantined)} point(s)")
+            for point, error in self.quarantined:
+                lines.append(f"  {point}: {error}")
         return "\n".join(lines)
 
 

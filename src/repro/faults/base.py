@@ -1,0 +1,63 @@
+"""Fault base class: benign sensor-degradation injectors.
+
+Faults reuse the :class:`~repro.attacks.base.Attack` scheduling window and
+per-channel hook interface — the engine applies them through the same
+injection point — but model *non-adversarial* input corruption: hardware
+dropouts, wedged drivers repeating stale samples, NaN bursts from a
+failing unit, transport latency, and lossy links.  Unlike attacks, a
+fault model is channel-generic: the same ``Dropout`` applies to GPS or
+compass alike, so every fault takes its target ``channel`` as a
+constructor argument and fans all per-channel hooks into one
+:meth:`Fault.apply` transform.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+
+__all__ = ["FAULT_CHANNELS", "Fault"]
+
+FAULT_CHANNELS = ("gps", "imu", "odometry", "compass", "radar")
+"""Sensor channels a fault can target (command faults are attacks' turf)."""
+
+
+class Fault(Attack):
+    """A scheduled benign fault on one sensor channel.
+
+    Subclasses override :meth:`apply` (and optionally :meth:`observe` /
+    :meth:`reset`); the per-channel hooks all delegate to it, so one
+    fault class serves every channel.  Returning ``None`` from ``apply``
+    drops the message for this step.
+    """
+
+    name: str = "fault"
+    kind: str = "fault"
+
+    def __init__(self, channel: str, window: AttackWindow | None = None):
+        super().__init__(window)
+        if channel not in FAULT_CHANNELS:
+            raise ValueError(
+                f"unknown fault channel {channel!r}; "
+                f"expected one of {FAULT_CHANNELS}"
+            )
+        self.channel = channel
+
+    def apply(self, t: float, value):
+        """Transform one in-window message; ``None`` drops it."""
+        return value
+
+    # --- hook fan-in ---------------------------------------------------
+    def on_gps(self, t, fix):
+        return self.apply(t, fix)
+
+    def on_imu(self, t, reading):
+        return self.apply(t, reading)
+
+    def on_odometry(self, t, reading):
+        return self.apply(t, reading)
+
+    def on_compass(self, t, reading):
+        return self.apply(t, reading)
+
+    def on_radar(self, t, reading):
+        return self.apply(t, reading)

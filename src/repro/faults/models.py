@@ -1,0 +1,128 @@
+"""The five benign fault models.
+
+Each model corrupts the *delivery* of sensor messages, never their
+semantic content — that is what distinguishes a fault from an attack in
+this package.  All models are channel-generic (see
+:class:`~repro.faults.base.Fault`) and deterministic given the engine's
+seeded RNG streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.attacks.base import AttackWindow
+from repro.faults.base import Fault
+
+__all__ = ["Dropout", "Freeze", "NaNBurst", "Latency", "Intermittent"]
+
+
+class Dropout(Fault):
+    """Total loss: the channel delivers nothing for the whole window.
+
+    Models a powered-down receiver or unplugged cable.  The consuming
+    stack sees no message at all (the engine's zero-order hold keeps the
+    *recorded* channel at its last value with ``*_fresh`` false).
+    """
+
+    name = "dropout"
+
+    def apply(self, t: float, value):
+        return None
+
+
+class Freeze(Fault):
+    """Stale repetition: the last healthy message is re-delivered.
+
+    Models a wedged driver process that keeps publishing its final
+    sample.  Unlike :class:`Dropout`, downstream consumers *do* receive
+    (apparently fresh) messages — the dangerous failure mode, because a
+    stack without staleness checks happily fuses them.
+    """
+
+    name = "freeze"
+
+    def __init__(self, channel: str, window: AttackWindow | None = None):
+        super().__init__(channel, window)
+        self._held = None
+
+    def reset(self) -> None:
+        self._held = None
+
+    def observe(self, t: float, value) -> None:
+        if not self.active(t):
+            self._held = value
+
+    def apply(self, t: float, value):
+        return self._held if self._held is not None else None
+
+
+class NaNBurst(Fault):
+    """Numeric corruption: every payload field becomes NaN.
+
+    Models a failing sensor unit emitting garbage frames.  The message
+    timestamp survives (framing is intact); every measurement field is
+    replaced with NaN, which unprotected arithmetic silently propagates.
+    """
+
+    name = "nan_burst"
+
+    def apply(self, t: float, value):
+        nan_fields = {
+            f.name: math.nan
+            for f in dataclasses.fields(value)
+            if f.name != "t"
+        }
+        return dataclasses.replace(value, **nan_fields)
+
+
+class Latency(Fault):
+    """Transport delay: messages arrive ``delay`` seconds late.
+
+    Models a congested bus or an overloaded driver.  Messages produced
+    during the window are buffered and re-delivered once they age past
+    the delay; until the first buffered message matures the channel is
+    silent.  Payloads keep their original (now stale) timestamps.
+    """
+
+    name = "latency"
+
+    def __init__(self, channel: str, delay: float = 0.5,
+                 window: AttackWindow | None = None):
+        super().__init__(channel, window)
+        if delay <= 0:
+            raise ValueError("latency delay must be positive")
+        self.delay = delay
+        self._queue: list[tuple[float, object]] = []
+
+    def reset(self) -> None:
+        self._queue = []
+
+    def apply(self, t: float, value):
+        self._queue.append((t, value))
+        delivered = None
+        while self._queue and self._queue[0][0] <= t - self.delay:
+            delivered = self._queue.pop(0)[1]
+        return delivered
+
+
+class Intermittent(Fault):
+    """Lossy link: each message is independently dropped with probability
+    ``drop_prob`` (seeded through the engine's RNG streams, so runs are
+    reproducible).  Models a flaky connector or RF interference.
+    """
+
+    name = "intermittent"
+
+    def __init__(self, channel: str, drop_prob: float = 0.5,
+                 window: AttackWindow | None = None):
+        super().__init__(channel, window)
+        if not 0.0 < drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in (0, 1]")
+        self.drop_prob = drop_prob
+
+    def apply(self, t: float, value):
+        if self.rng is None:
+            raise RuntimeError("Intermittent fault needs bind_rng() first")
+        return None if self.rng.random() < self.drop_prob else value

@@ -2,14 +2,20 @@
 
 One engine step reproduces the data flow of the vehicle under test:
 
-    ground truth --sensors--> readings --attacks--> estimator --> controller
-        ^                                                             |
-        |                                                     command |
-        +-- dynamics <-- actuators <--attacks (command channel) <-----+
+    ground truth --sensors--> readings --faults--> --attacks-->
+        [supervisor watchdog] --> estimator --> controller
+        ^                                                |
+        |                                        command |
+        +-- dynamics <-- actuators <--attacks (command channel) <--+
 
 and appends one fully populated :class:`~repro.trace.schema.TraceRecord`.
-The engine is the *only* place attack hooks are invoked, so the trace's
-attack ground-truth labels are exact.
+The engine is the *only* place fault/attack hooks are invoked, so the
+trace's injection ground-truth labels are exact.  Benign faults
+(:mod:`repro.faults`) are applied before attacks on each channel —
+hardware degrades before an adversary touches the message — and both
+compose in one run.  A :class:`~repro.control.supervisor.SupervisedController`
+follower additionally gets its staleness/NaN watchdog interposed between
+injection and the estimator.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.control.acc import AccController
 from repro.control.estimator import Ekf, EkfConfig
 from repro.control.follower import SpeedProfile, WaypointFollower
 from repro.control.base import make_lateral_controller
+from repro.control.supervisor import SupervisedController, SupervisorConfig
 from repro.geom.angles import angle_diff
 from repro.geom.polyline import Polyline
 from repro.geom.vec import Vec2
@@ -38,6 +45,7 @@ from repro.trace.schema import Trace, TraceMeta
 
 if TYPE_CHECKING:  # annotation-only import; repro.attacks imports repro.sim
     from repro.attacks.campaign import AttackCampaign
+    from repro.faults.campaign import FaultCampaign
 
 __all__ = ["RunResult", "SimulationRunner", "run_scenario"]
 
@@ -62,17 +70,21 @@ class SimulationRunner:
     def __init__(
         self,
         scenario: Scenario,
-        follower: WaypointFollower,
+        follower: "WaypointFollower | SupervisedController",
         campaign: "AttackCampaign | None" = None,
         ekf_config: EkfConfig | None = None,
+        faults: "FaultCampaign | None" = None,
     ):
         from repro.attacks.campaign import AttackCampaign
+        from repro.faults.campaign import FaultCampaign
 
         self.scenario = scenario
         self.follower = follower
         self.campaign = campaign or AttackCampaign.none()
+        self.faults = faults or FaultCampaign.none()
         self.ekf_config = ekf_config
         self._rngs = RngStreams(scenario.seed)
+        self._injectors: list = []
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -89,8 +101,17 @@ class SimulationRunner:
 
         self.follower.reset()
         self.campaign.reset()
+        self.faults.reset()
         for index, attack in enumerate(self.campaign.attacks):
             attack.bind_rng(self._rngs.stream(f"attack.{index}.{attack.name}"))
+        for index, fault in enumerate(self.faults.faults):
+            fault.bind_rng(self._rngs.stream(f"fault.{index}.{fault.name}"))
+        # Faults fire before attacks on every channel: hardware degrades
+        # upstream of any adversary in the message path.
+        injectors = list(self.faults.faults) + list(self.campaign.attacks)
+        supervisor = (self.follower
+                      if isinstance(self.follower, SupervisedController)
+                      else None)
 
         lead: LeadVehicle | None = None
         radar: Radar | None = None
@@ -98,6 +119,7 @@ class SimulationRunner:
             lead = LeadVehicle(scenario.lead, start_station=0.0)
             radar = Radar(RadarConfig(), self._rngs.stream("sensor.radar"))
 
+        self._injectors = injectors
         meta = TraceMeta(
             scenario=scenario.name,
             controller=self.follower.name,
@@ -106,6 +128,8 @@ class SimulationRunner:
             dt=dt,
             route_length=route.length,
         )
+        if self.faults.faults:
+            meta.extra["fault"] = self.faults.label
         recorder = TraceRecorder(meta)
 
         last_predict_t: float | None = None
@@ -121,7 +145,7 @@ class SimulationRunner:
             proj = route.project(state.position, hint_station=station_hint)
             station_hint = proj.station
 
-            # --- sensing + attack injection ---------------------------
+            # --- sensing + fault/attack injection ----------------------
             readings = sensors.poll(t, state)
             gps_fix = readings.gps
             if gps_fix is not None:
@@ -158,6 +182,15 @@ class SimulationRunner:
                 radar_reading = radar.poll_gap(t, gap_true, closing)
                 radar_reading = self._apply_channel(
                     "radar", t, radar_reading, lambda a, v: a.on_radar(t, v)
+                )
+
+            # --- degradation supervisor (staleness/NaN watchdog) -------
+            if supervisor is not None:
+                gps_fix, imu, odom, compass, radar_reading = (
+                    supervisor.filter_readings(
+                        t, gps=gps_fix, imu=imu, odom=odom,
+                        compass=compass, radar=radar_reading,
+                    )
                 )
 
             # --- state estimation --------------------------------------
@@ -203,6 +236,7 @@ class SimulationRunner:
                 divergence_time = t
 
             active_attack = self._active_attack(t)
+            active_fault = self._active_fault(t)
             recorder.record(
                 step=step,
                 t=t,
@@ -254,6 +288,15 @@ class SimulationRunner:
                 if radar_reading is not None else None,
                 lead={"gap": gap_true, "speed": lead.speed}
                 if lead is not None else None,
+                fault={
+                    "active": active_fault is not None,
+                    "name": active_fault.name if active_fault else "",
+                    "channel": active_fault.channel if active_fault else "",
+                },
+                supervisor={
+                    "mode": supervisor.mode,
+                    "lost": len(supervisor.lost_channels),
+                } if supervisor is not None else None,
             )
 
         trace = recorder.trace
@@ -288,12 +331,22 @@ class SimulationRunner:
         return Vehicle(model=self.scenario.model, initial_state=state)
 
     def _apply_channel(self, channel: str, t: float, value, hook):
-        """Run every active attack of ``channel`` over the message."""
+        """Run every active injector (faults first, then attacks) of
+        ``channel`` over the message.
+
+        Every matching injector additionally gets the generic
+        :meth:`~repro.attacks.base.Attack.observe` call on the message
+        as it stands when the injector's turn comes — active or not —
+        so freeze/replay models can capture healthy traffic.
+        """
         if value is None:
             return None
-        for attack in self.campaign.attacks:
-            if attack.channel == channel and attack.active(t):
-                value = hook(attack, value)
+        for injector in self._injectors:
+            if injector.channel != channel:
+                continue
+            injector.observe(t, value)
+            if injector.active(t):
+                value = hook(injector, value)
                 if value is None:
                     return None
         return value
@@ -304,6 +357,12 @@ class SimulationRunner:
                 return attack
         return None
 
+    def _active_fault(self, t: float):
+        for fault in self.faults.faults:
+            if fault.active(t):
+                return fault
+        return None
+
 
 def run_scenario(
     scenario: Scenario,
@@ -311,6 +370,9 @@ def run_scenario(
     campaign: AttackCampaign | None = None,
     profile: SpeedProfile | None = None,
     ekf_config: EkfConfig | None = None,
+    faults: "FaultCampaign | None" = None,
+    supervised: bool = False,
+    supervisor_config: SupervisorConfig | None = None,
 ) -> RunResult:
     """Convenience one-call runner used throughout examples and tests.
 
@@ -322,12 +384,22 @@ def run_scenario(
         profile: speed profile override (default: scenario cruise speed).
         ekf_config: estimator configuration override (e.g. innovation
             gating for the E10 mitigation experiment).
+        faults: benign fault campaign (default: none) — composes with
+            ``campaign``; faults are applied first on each channel.
+        supervised: wrap the follower in a
+            :class:`~repro.control.supervisor.SupervisedController`
+            (graceful degradation under sensor faults — experiment E14).
+        supervisor_config: watchdog/degradation policy override (implies
+            ``supervised``).
     """
     if profile is None:
         profile = SpeedProfile(cruise_speed=scenario.cruise_speed)
-    follower = WaypointFollower(
+    follower: WaypointFollower | SupervisedController = WaypointFollower(
         make_lateral_controller(controller),
         profile=profile,
         acc=AccController() if scenario.lead is not None else None,
     )
-    return SimulationRunner(scenario, follower, campaign, ekf_config).run()
+    if supervised or supervisor_config is not None:
+        follower = SupervisedController(follower, config=supervisor_config)
+    return SimulationRunner(scenario, follower, campaign, ekf_config,
+                            faults=faults).run()

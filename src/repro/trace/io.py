@@ -10,6 +10,15 @@ path, and :func:`trace_to_jsonl_bytes` / :func:`trace_from_jsonl_bytes`
 provide the same format as an in-memory payload — the persistent run
 cache (:mod:`repro.experiments.cache`) round-trips traces through these
 without touching temporary files.
+
+Error handling contract: structurally broken input (missing header,
+corrupt record in the middle of a file, wrong CSV columns) raises
+:class:`TraceIOError` — a :class:`ValueError` subclass carrying the file
+label and line number.  A file cut off mid-write (truncated gzip stream,
+incomplete final line — what a killed worker or full disk leaves behind)
+instead returns the parseable prefix and emits a
+:class:`TraceTruncationWarning`, because the prefix is still a valid
+trace and losing the tail is recoverable.
 """
 
 from __future__ import annotations
@@ -18,11 +27,14 @@ import csv
 import gzip
 import io
 import json
+import warnings
 from pathlib import Path
 
 from repro.trace.schema import Trace, TraceMeta, TraceRecord
 
 __all__ = [
+    "TraceIOError",
+    "TraceTruncationWarning",
     "write_trace_jsonl",
     "read_trace_jsonl",
     "write_trace_csv",
@@ -33,10 +45,13 @@ __all__ = [
 
 _GZIP_MAGIC = b"\x1f\x8b"
 
-_BOOL_CHANNELS = frozenset(
-    name for name in Trace.field_names
-    if name.endswith("_fresh") or name in ("attack_active", "lead_present")
-)
+
+class TraceIOError(ValueError):
+    """A trace file/payload is structurally unreadable (not just truncated)."""
+
+
+class TraceTruncationWarning(UserWarning):
+    """A trace stream ended mid-write; the parseable prefix was returned."""
 
 
 def _record_to_dict(record: TraceRecord) -> dict:
@@ -49,7 +64,8 @@ def _record_from_dict(data: dict) -> TraceRecord:
         if name not in data:
             raise ValueError(f"record is missing channel {name!r}")
         kwargs[name] = data[name]
-    kwargs["step"] = int(kwargs["step"])
+    for name in Trace.int_channels:
+        kwargs[name] = int(kwargs[name])
     return TraceRecord(**kwargs)
 
 
@@ -59,23 +75,65 @@ def _write_jsonl_stream(trace: Trace, f) -> None:
         f.write(json.dumps(_record_to_dict(record)) + "\n")
 
 
+# Exceptions a file object raises mid-iteration when the underlying
+# stream was cut off (gzip raises EOFError/BadGzipFile on a truncated
+# member, plain files can surface OSError on bad media).
+_STREAM_TRUNCATION = (EOFError, gzip.BadGzipFile, OSError)
+
+
 def _read_jsonl_stream(f, label: str) -> Trace:
-    header = f.readline()
+    try:
+        header = f.readline()
+    except _STREAM_TRUNCATION as exc:
+        raise TraceIOError(f"{label}: unreadable trace stream: {exc}") from exc
     if not header:
-        raise ValueError(f"{label}: empty trace file")
-    head = json.loads(header)
-    if "meta" not in head:
-        raise ValueError(f"{label}: missing metadata header line")
+        raise TraceIOError(f"{label}: empty trace file")
+    try:
+        head = json.loads(header)
+    except json.JSONDecodeError as exc:
+        raise TraceIOError(f"{label}: bad metadata header: {exc}") from exc
+    if not isinstance(head, dict) or "meta" not in head:
+        raise TraceIOError(f"{label}: missing metadata header line")
     meta = TraceMeta.from_dict(head["meta"])
     trace = Trace(meta)
-    for line_no, line in enumerate(f, start=2):
+
+    lines = iter(f)
+    line_no = 1
+    truncated: str | None = None
+    while True:
+        line_no += 1
+        try:
+            line = next(lines)
+        except StopIteration:
+            break
+        except _STREAM_TRUNCATION as exc:
+            truncated = f"stream ended mid-record: {exc}"
+            break
         line = line.strip()
         if not line:
             continue
         try:
             trace.append(_record_from_dict(json.loads(line)))
         except (json.JSONDecodeError, TypeError, ValueError) as exc:
-            raise ValueError(f"{label}:{line_no}: bad trace record: {exc}") from exc
+            # A bad *final* line is what an interrupted write leaves
+            # behind — salvage the prefix.  A bad line with more data
+            # after it is corruption and must not be papered over.
+            try:
+                more = next(lines)
+            except (StopIteration, *_STREAM_TRUNCATION):
+                more = ""
+            if more.strip():
+                raise TraceIOError(
+                    f"{label}:{line_no}: bad trace record: {exc}") from exc
+            truncated = f"incomplete final record ({exc})"
+            break
+    if truncated is not None:
+        warnings.warn(
+            f"{label}: truncated trace, kept {len(trace)} record(s) "
+            f"({truncated})",
+            TraceTruncationWarning,
+            stacklevel=3,
+        )
     return trace
 
 
@@ -94,7 +152,12 @@ def write_trace_jsonl(trace: Trace, path: str | Path) -> None:
 
 
 def read_trace_jsonl(path: str | Path) -> Trace:
-    """Read a trace written by :func:`write_trace_jsonl` (plain or .gz)."""
+    """Read a trace written by :func:`write_trace_jsonl` (plain or .gz).
+
+    Raises :class:`TraceIOError` on structurally corrupt input; a stream
+    truncated mid-write yields the parseable prefix with a
+    :class:`TraceTruncationWarning` instead.
+    """
     path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "rt", encoding="utf-8") as f:
@@ -123,7 +186,9 @@ def trace_to_jsonl_bytes(trace: Trace, compress: bool = True) -> bytes:
 def trace_from_jsonl_bytes(data: bytes) -> Trace:
     """Inverse of :func:`trace_to_jsonl_bytes`; auto-detects compression."""
     if data[:2] == _GZIP_MAGIC:
-        data = gzip.decompress(data)
+        stream = io.TextIOWrapper(
+            gzip.GzipFile(fileobj=io.BytesIO(data)), encoding="utf-8")
+        return _read_jsonl_stream(stream, "<trace bytes>")
     return _read_jsonl_stream(io.StringIO(data.decode("utf-8")),
                               "<trace bytes>")
 
@@ -156,17 +221,17 @@ def read_trace_csv(path: str | Path) -> Trace:
         else:
             header = next(reader)
         if tuple(header) != Trace.field_names:
-            raise ValueError(f"{path}: unexpected CSV columns")
+            raise TraceIOError(f"{path}: unexpected CSV columns")
         trace = Trace(meta)
         for row in reader:
             data = dict(zip(Trace.field_names, row))
             kwargs = {}
             for name, raw in data.items():
-                if name in ("attack_name", "attack_channel"):
+                if name in Trace.string_channels:
                     kwargs[name] = raw
-                elif name == "step":
+                elif name in Trace.int_channels:
                     kwargs[name] = int(raw)
-                elif name in _BOOL_CHANNELS:
+                elif name in Trace.bool_channels:
                     kwargs[name] = raw in ("True", "true", "1")
                 else:
                     kwargs[name] = float(raw)

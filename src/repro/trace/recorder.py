@@ -39,6 +39,8 @@ class TraceRecorder:
         attack: dict,
         radar: tuple[float, float] | None = None,
         lead: dict | None = None,
+        fault: dict | None = None,
+        supervisor: dict | None = None,
     ) -> TraceRecord:
         """Assemble and append one record; returns it for online use."""
         if gps is not None:
@@ -101,6 +103,11 @@ class TraceRecorder:
             attack_active=attack["active"],
             attack_name=attack["name"],
             attack_channel=attack["channel"],
+            fault_active=fault["active"] if fault else False,
+            fault_name=fault["name"] if fault else "",
+            fault_channel=fault["channel"] if fault else "",
+            supervisor_mode=supervisor["mode"] if supervisor else "",
+            supervisor_lost=supervisor["lost"] if supervisor else 0,
         )
         self.trace.append(record)
         return record

@@ -94,12 +94,30 @@ class TraceRecord:
     attack_name: str = ""
     attack_channel: str = ""
 
+    # --- fault ground truth (scoring only) -------------------------------
+    fault_active: bool = False
+    fault_name: str = ""
+    fault_channel: str = ""
+
+    # --- degradation supervisor telemetry --------------------------------
+    supervisor_mode: str = ""
+    """``""`` for unsupervised runs; else ``normal`` / ``dead_reckoning``
+    / ``safe_stop`` (see :mod:`repro.control.supervisor`)."""
+    supervisor_lost: int = 0
+    """Number of sensor channels the supervisor's watchdog flags lost."""
+
     def replace(self, **changes) -> "TraceRecord":
         """A copy with the given fields replaced."""
         return dataclasses.replace(self, **changes)
 
 
 _FIELD_NAMES = tuple(f.name for f in fields(TraceRecord))
+_STRING_CHANNELS = frozenset(
+    f.name for f in fields(TraceRecord) if f.type in ("str", str))
+_BOOL_CHANNELS = frozenset(
+    f.name for f in fields(TraceRecord) if f.type in ("bool", bool))
+_INT_CHANNELS = frozenset(
+    f.name for f in fields(TraceRecord) if f.type in ("int", int))
 
 
 @dataclass(slots=True)
@@ -146,6 +164,10 @@ class Trace:
     """
 
     field_names: tuple[str, ...] = _FIELD_NAMES
+    string_channels: frozenset[str] = _STRING_CHANNELS
+    """Channels holding labels, not numbers (derived from field types)."""
+    bool_channels: frozenset[str] = _BOOL_CHANNELS
+    int_channels: frozenset[str] = _INT_CHANNELS
 
     def __init__(self, meta: TraceMeta | None = None,
                  records: Sequence[TraceRecord] | None = None):
@@ -192,7 +214,7 @@ class Trace:
         """The named channel as a float numpy array (bools become 0/1)."""
         if name not in _FIELD_NAMES:
             raise KeyError(f"unknown trace channel {name!r}")
-        if name in ("attack_name", "attack_channel"):
+        if name in _STRING_CHANNELS:
             raise TypeError(f"channel {name!r} is not numeric; iterate records")
         return np.array([getattr(r, name) for r in self._records], dtype=float)
 
@@ -208,6 +230,13 @@ class Trace:
         """Time of the first step with an active attack, or ``None``."""
         for r in self._records:
             if r.attack_active:
+                return r.t
+        return None
+
+    def fault_onset(self) -> float | None:
+        """Time of the first step with an active benign fault, or ``None``."""
+        for r in self._records:
+            if r.fault_active:
                 return r.t
         return None
 

@@ -1,0 +1,218 @@
+"""Tests for the graceful-degradation supervisor (repro.control.supervisor)."""
+
+import math
+
+import pytest
+
+from repro.control.supervisor import (
+    MODE_DEAD_RECKONING,
+    MODE_NORMAL,
+    MODE_SAFE_STOP,
+    SupervisedController,
+    SupervisorConfig,
+    make_supervised_follower,
+)
+from repro.faults import combined_fault, standard_fault
+from repro.sim.engine import run_scenario
+from repro.sim.sensors.compass import CompassReading
+from repro.sim.sensors.gps import GpsFix
+from repro.sim.sensors.imu import ImuReading
+from repro.sim.sensors.odometry import OdometryReading
+
+from conftest import short_scenario
+
+
+def supervised(config: SupervisorConfig | None = None) -> SupervisedController:
+    return make_supervised_follower("pure_pursuit", config=config)
+
+
+def healthy(t: float, salt: float = 0.0) -> dict:
+    """A full set of per-step readings with non-repeating payloads."""
+    return {
+        "gps": GpsFix(t=t, x=1.0 + t + salt, y=2.0 + t),
+        "imu": ImuReading(t=t, yaw_rate=0.01 * t, accel=0.1),
+        "odom": OdometryReading(t=t, speed=5.0 + 0.01 * t),
+        "compass": CompassReading(t=t, yaw=0.001 * t),
+    }
+
+
+def feed(sup: SupervisedController, t0: float, t1: float, dt: float = 0.1,
+         drop: tuple[str, ...] = ()) -> None:
+    """Drive the watchdog from t0 to t1, suppressing ``drop`` channels."""
+    steps = int(round((t1 - t0) / dt))
+    for i in range(steps):
+        t = t0 + i * dt
+        readings = healthy(t)
+        for channel in drop:
+            readings[channel] = None
+        sup.filter_readings(t, **readings)
+
+
+class TestConfig:
+    def test_rejects_nonpositive_timeouts(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(gps_timeout=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(imu_timeout=-1.0)
+
+    def test_rejects_bad_policy_knobs(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(safe_stop_lost=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(dead_reckoning_budget=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(degraded_speed=-1.0)
+
+    def test_timeout_lookup(self):
+        config = SupervisorConfig(gps_timeout=2.0)
+        assert config.timeout("gps") == 2.0
+        assert config.timeout("imu") == config.imu_timeout
+
+
+class TestWatchdog:
+    def test_nan_reading_is_quarantined(self):
+        sup = supervised()
+        gps, imu, odom, compass, radar = sup.filter_readings(
+            0.0, gps=GpsFix(t=0.0, x=math.nan, y=2.0),
+            imu=healthy(0.0)["imu"], odom=healthy(0.0)["odom"],
+            compass=healthy(0.0)["compass"])
+        assert gps is None
+        assert imu is not None and odom is not None and compass is not None
+
+    def test_repeated_payload_is_quarantined(self):
+        sup = supervised()
+        first = GpsFix(t=0.0, x=1.0, y=2.0)
+        replay = GpsFix(t=0.1, x=1.0, y=2.0)  # re-stamped, same payload
+        out1, *_ = sup.filter_readings(0.0, gps=first)
+        out2, *_ = sup.filter_readings(0.1, gps=replay)
+        assert out1 is first
+        assert out2 is None
+
+    def test_quarantined_repeat_does_not_refresh_watchdog(self):
+        config = SupervisorConfig(gps_timeout=0.5)
+        sup = supervised(config)
+        frozen = healthy(0.0)
+        for i in range(20):  # frozen GPS payload for 2 s
+            t = i * 0.1
+            readings = healthy(t)
+            readings["gps"] = GpsFix(t=t, x=frozen["gps"].x, y=frozen["gps"].y)
+            sup.filter_readings(t, **readings)
+        assert "gps" in sup.lost_channels
+        assert sup.mode == MODE_DEAD_RECKONING
+
+
+class TestModeMachine:
+    def test_stays_normal_on_healthy_traffic(self):
+        sup = supervised()
+        feed(sup, 0.0, 5.0)
+        assert sup.mode == MODE_NORMAL
+        assert sup.lost_channels == ()
+
+    def test_critical_channel_loss_enters_dead_reckoning(self):
+        sup = supervised()
+        feed(sup, 0.0, 2.0)
+        feed(sup, 2.0, 4.0, drop=("gps",))
+        assert sup.mode == MODE_DEAD_RECKONING
+        assert sup.lost_channels == ("gps",)
+
+    def test_recovery_returns_to_normal(self):
+        sup = supervised()
+        feed(sup, 0.0, 2.0)
+        feed(sup, 2.0, 4.0, drop=("gps",))
+        assert sup.mode == MODE_DEAD_RECKONING
+        feed(sup, 4.0, 5.0)
+        assert sup.mode == MODE_NORMAL
+
+    def test_two_lost_channels_safe_stop_immediately(self):
+        sup = supervised()
+        feed(sup, 0.0, 2.0)
+        feed(sup, 2.0, 4.0, drop=("gps", "compass"))
+        assert sup.mode == MODE_SAFE_STOP
+        assert sup.safe_stop_since is not None
+        # Engages as soon as both watchdogs expire (~1 s timeout).
+        assert sup.safe_stop_since < 3.5
+
+    def test_dead_reckoning_budget_escalates_to_safe_stop(self):
+        config = SupervisorConfig(dead_reckoning_budget=1.0)
+        sup = supervised(config)
+        feed(sup, 0.0, 2.0)
+        feed(sup, 2.0, 6.0, drop=("gps",))
+        assert sup.mode == MODE_SAFE_STOP
+
+    def test_safe_stop_is_latched(self):
+        sup = supervised(SupervisorConfig(dead_reckoning_budget=1.0))
+        feed(sup, 0.0, 2.0)
+        feed(sup, 2.0, 6.0, drop=("gps",))
+        assert sup.mode == MODE_SAFE_STOP
+        feed(sup, 6.0, 8.0)  # channels come back; mode must not
+        assert sup.mode == MODE_SAFE_STOP
+
+
+class TestDecisionOverride:
+    def test_safe_stop_holds_steer_and_brakes(self):
+        scenario = short_scenario("s_curve", duration=10.0)
+        sup = supervised()
+        feed(sup, 0.0, 2.0)
+        # Grab a nominal decision so _held_steer is the pass-through value.
+        from repro.control.estimator import Estimate
+        estimate = Estimate(x=0.0, y=0.0, yaw=0.0, v=5.0,
+                            cov_trace=0.1, nis_gps=0.0,
+                            nis_speed=0.0, nis_compass=0.0)
+        nominal = sup.decide(estimate, scenario.route, 0.1)
+        feed(sup, 2.0, 6.0, drop=("gps", "compass"))
+        stopped = sup.decide(estimate, scenario.route, 0.1)
+        assert stopped.steer_cmd == nominal.steer_cmd
+        assert stopped.accel_cmd == -sup.config.safe_stop_decel
+        assert stopped.target_speed == 0.0
+
+    def test_dead_reckoning_caps_target_speed(self):
+        scenario = short_scenario("s_curve", duration=10.0)
+        sup = supervised()
+        from repro.control.estimator import Estimate
+        estimate = Estimate(x=0.0, y=0.0, yaw=0.0, v=10.0,
+                            cov_trace=0.1, nis_gps=0.0,
+                            nis_speed=0.0, nis_compass=0.0)
+        feed(sup, 0.0, 2.0)
+        feed(sup, 2.0, 4.0, drop=("gps",))
+        assert sup.mode == MODE_DEAD_RECKONING
+        decision = sup.decide(estimate, scenario.route, 0.1)
+        assert decision.target_speed <= sup.config.degraded_speed
+        assert decision.accel_cmd <= -1.0  # bleeding off excess speed
+
+
+class TestClosedLoop:
+    def test_gps_freeze_supervised_bounded_unsupervised_diverges(self):
+        scenario = short_scenario("s_curve", duration=35.0)
+        faults = standard_fault("gps_freeze", onset=10.0)
+        bare = run_scenario(scenario, faults=faults)
+        safe = run_scenario(scenario, faults=faults, supervised=True)
+        assert bare.metrics.max_abs_cte > 5.0
+        assert safe.metrics.max_abs_cte < 2.0
+        assert any(rec.supervisor_mode == MODE_SAFE_STOP
+                   for rec in safe.trace)
+
+    def test_gps_nan_crashes_unsupervised_only(self):
+        scenario = short_scenario("s_curve", duration=25.0)
+        faults = standard_fault("gps_nan", onset=10.0)
+        with pytest.raises(ValueError):
+            run_scenario(scenario, faults=faults)
+        safe = run_scenario(scenario, faults=faults, supervised=True)
+        assert safe.metrics.max_abs_cte < 2.0
+
+    def test_correlated_loss_stops_quickly(self):
+        scenario = short_scenario("s_curve", duration=25.0)
+        faults = combined_fault(["gps_dropout", "compass_dropout"],
+                                onset=10.0)
+        safe = run_scenario(scenario, faults=faults, supervised=True)
+        stop_times = [rec.t for rec in safe.trace
+                      if rec.supervisor_mode == MODE_SAFE_STOP]
+        assert stop_times and stop_times[0] < 12.0
+        assert safe.trace[-1].true_v < 0.5
+
+    def test_supervisor_is_transparent_on_nominal_run(self):
+        scenario = short_scenario("s_curve", duration=20.0)
+        safe = run_scenario(scenario, supervised=True)
+        assert all(rec.supervisor_mode == MODE_NORMAL
+                   for rec in safe.trace)
+        assert safe.metrics.max_abs_cte < 1.0
+        assert safe.controller_name == "supervised:pure_pursuit"

@@ -54,6 +54,7 @@ class TestDefaultKnowledgeBase:
             "none", "gps_bias", "gps_drift", "gps_freeze", "gps_noise",
             "imu_gyro_bias", "odom_scale", "compass_offset", "steer_offset",
             "cmd_delay", "radar_scale", "radar_ghost", "radar_blind",
+            "sensor_fault",
         }
         assert set(kb.causes) == expected
 

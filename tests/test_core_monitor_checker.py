@@ -77,7 +77,7 @@ class TestOnlineMonitor:
 class TestOfflineChecker:
     def test_default_catalog_used(self):
         report = check_trace(make_trace(300))
-        assert len(report.summaries) == 22
+        assert len(report.summaries) == len(default_catalog())
 
     def test_assertions_reusable_across_calls(self):
         assertions = [bound_assertion()]

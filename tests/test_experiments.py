@@ -7,6 +7,7 @@ all builders share grid points.
 
 import pytest
 
+from repro.core.catalog import CATALOG_STAGES
 from repro.experiments import (
     ExperimentConfig,
     build_anomaly_traces,
@@ -113,7 +114,7 @@ class TestE8Ablation:
         table = build_assertion_ablation(config)
         top1 = [int(r[3].split("/")[0]) for r in table.rows]
         assert top1[-1] >= top1[0]
-        assert len(table.rows) == 5
+        assert len(table.rows) == len(CATALOG_STAGES)
 
 
 class TestE9Refinement:

@@ -1,0 +1,175 @@
+"""Tests for repro.faults: models, campaigns, engine integration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackWindow
+from repro.attacks.campaign import standard_attack
+from repro.faults import (
+    FAULT_CHANNELS,
+    FAULT_CLASSES,
+    Dropout,
+    Fault,
+    FaultCampaign,
+    Freeze,
+    Intermittent,
+    Latency,
+    NaNBurst,
+    combined_fault,
+    make_fault,
+    standard_fault,
+)
+from repro.sim.engine import run_scenario
+from repro.sim.sensors.gps import GpsFix
+
+from conftest import short_scenario
+
+WINDOW = AttackWindow(start=2.0, end=8.0)
+
+
+def fix(t: float, x: float = 1.0, y: float = 2.0) -> GpsFix:
+    return GpsFix(t=t, x=x, y=y)
+
+
+class TestModels:
+    def test_dropout_window_and_suppression(self):
+        # The engine only invokes hooks while active(t); outside the
+        # window the fault is simply skipped.
+        fault = Dropout("gps", window=WINDOW)
+        assert not fault.active(1.0)
+        assert fault.active(5.0)
+        assert fault.on_gps(5.0, fix(5.0)) is None
+
+    def test_freeze_replays_last_pre_window_value(self):
+        fault = Freeze("gps", window=WINDOW)
+        held = fix(1.9, x=7.0, y=8.0)
+        fault.observe(1.9, held)
+        frozen = fault.on_gps(5.0, fix(5.0, x=9.0, y=9.0))
+        assert frozen is not None
+        assert (frozen.x, frozen.y) == (7.0, 8.0)
+
+    def test_freeze_without_history_drops(self):
+        fault = Freeze("gps", window=WINDOW)
+        assert fault.on_gps(5.0, fix(5.0)) is None
+
+    def test_freeze_reset_clears_held_value(self):
+        fault = Freeze("gps", window=WINDOW)
+        fault.observe(1.0, fix(1.0))
+        fault.reset()
+        assert fault.on_gps(5.0, fix(5.0)) is None
+
+    def test_nan_burst_poisons_payload_not_timestamp(self):
+        fault = NaNBurst("gps", window=WINDOW)
+        out = fault.on_gps(5.0, fix(5.0))
+        assert out.t == 5.0
+        assert math.isnan(out.x) and math.isnan(out.y)
+
+    def test_latency_delays_delivery(self):
+        fault = Latency("gps", delay=1.0, window=AttackWindow(0.0))
+        assert fault.on_gps(0.0, fix(0.0, x=1.0)) is None
+        out = fault.on_gps(1.5, fix(1.5, x=3.0))
+        assert out is not None and out.x == 1.0
+
+    def test_latency_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            Latency("gps", delay=0.0)
+
+    def test_intermittent_requires_bound_rng(self):
+        fault = Intermittent("gps", drop_prob=0.5, window=WINDOW)
+        with pytest.raises(RuntimeError):
+            fault.on_gps(5.0, fix(5.0))
+
+    def test_intermittent_drop_rate_tracks_probability(self):
+        fault = Intermittent("gps", drop_prob=0.5,
+                             window=AttackWindow(0.0))
+        fault.bind_rng(np.random.default_rng(0))
+        dropped = sum(fault.on_gps(float(i), fix(float(i))) is None
+                      for i in range(400))
+        assert 140 <= dropped <= 260
+
+    def test_intermittent_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Intermittent("gps", drop_prob=0.0)
+        with pytest.raises(ValueError):
+            Intermittent("gps", drop_prob=1.5)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout("lidar")
+
+
+class TestCampaign:
+    def test_registry_covers_channels(self):
+        channels = {standard_fault(name).faults[0].channel
+                    for name in FAULT_CLASSES}
+        assert channels == set(FAULT_CHANNELS)
+
+    def test_make_fault_validates_class_and_intensity(self):
+        with pytest.raises(ValueError, match="unknown fault class"):
+            make_fault("gps_teleport")
+        with pytest.raises(ValueError, match="intensity"):
+            make_fault("gps_dropout", intensity=-1.0)
+
+    def test_standard_fault_none_is_empty(self):
+        campaign = standard_fault("none")
+        assert campaign.label == "none" and campaign.faults == []
+
+    def test_combined_fault_labels_and_validates(self):
+        campaign = combined_fault(["gps_dropout", "compass_dropout"])
+        assert campaign.label == "gps_dropout+compass_dropout"
+        assert len(campaign.faults) == 2
+        with pytest.raises(ValueError):
+            combined_fault([])
+
+    def test_every_class_instantiates_a_fault(self):
+        for name in FAULT_CLASSES:
+            fault = make_fault(name, onset=1.0, end=2.0)
+            assert isinstance(fault, Fault)
+            assert fault.kind == "fault"
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def dropout_run(self):
+        return run_scenario(
+            short_scenario("s_curve", duration=25.0),
+            faults=standard_fault("gps_dropout", onset=10.0),
+        )
+
+    def test_trace_labels_fault_window(self, dropout_run):
+        trace = dropout_run.trace
+        assert trace.fault_onset() == pytest.approx(10.0, abs=0.1)
+        active = [rec for rec in trace if rec.fault_active]
+        assert active and all(rec.t >= 10.0 for rec in active)
+        assert active[0].fault_name == "dropout"
+        assert active[0].fault_channel == "gps"
+        before = [rec for rec in trace if rec.t < 10.0]
+        assert all(not rec.fault_active for rec in before)
+
+    def test_gps_stops_refreshing_inside_window(self, dropout_run):
+        post = [rec for rec in dropout_run.trace if rec.t >= 10.1]
+        assert all(not rec.gps_fresh for rec in post)
+
+    def test_meta_records_fault_label(self, dropout_run):
+        assert dropout_run.trace.meta.extra["fault"] == "gps_dropout"
+
+    def test_faults_compose_with_attacks(self):
+        result = run_scenario(
+            short_scenario("s_curve", duration=20.0),
+            campaign=standard_attack("odom_scale", onset=8.0),
+            faults=standard_fault("compass_dropout", onset=8.0),
+        )
+        trace = result.trace
+        assert any(rec.fault_active for rec in trace)
+        assert any(rec.attack_active for rec in trace)
+        post = [rec for rec in trace if rec.t >= 8.1]
+        assert all(not rec.compass_fresh for rec in post)
+
+    def test_fault_free_run_is_unaffected(self):
+        scenario = short_scenario("s_curve", duration=15.0)
+        plain = run_scenario(scenario)
+        with_none = run_scenario(scenario, faults=FaultCampaign.none())
+        assert [r.true_x for r in plain.trace] == \
+            [r.true_x for r in with_none.trace]

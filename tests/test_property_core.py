@@ -13,6 +13,7 @@ from repro.core.catalog import default_catalog
 from repro.core.checker import check_trace
 from repro.core.diagnosis import diagnose
 from repro.core.dsl import BoundAssertion
+from repro.core.knowledge import default_knowledge_base
 from repro.core.monitor import OnlineMonitor
 
 from conftest import make_record, make_trace
@@ -86,7 +87,7 @@ class TestEpisodeInvariants:
     def test_diagnosis_total_and_normalized(self, channel, segs):
         trace = perturbed_trace(channel, segs)
         result = diagnose(check_trace(trace, default_catalog()))
-        assert len(result.ranking) == 13  # every KB cause ranked
+        assert len(result.ranking) == len(default_knowledge_base().causes)
         assert abs(sum(d.posterior for d in result.ranking) - 1.0) < 1e-6
 
 

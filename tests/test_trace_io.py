@@ -1,10 +1,16 @@
-"""Tests for repro.trace.io: JSONL/CSV round trips."""
+"""Tests for repro.trace.io: JSONL/CSV round trips + truncation salvage."""
+
+import gzip
 
 import pytest
 
 from repro.trace.io import (
+    TraceIOError,
+    TraceTruncationWarning,
     read_trace_csv,
     read_trace_jsonl,
+    trace_from_jsonl_bytes,
+    trace_to_jsonl_bytes,
     write_trace_csv,
     write_trace_jsonl,
 )
@@ -63,10 +69,73 @@ class TestJsonl:
             read_trace_jsonl(path)
 
     def test_missing_channel_rejected(self, tmp_path):
+        # Two short records: the first has data after it, so this is
+        # structural corruption (schema drift), not a truncated tail.
         path = tmp_path / "trace.jsonl"
-        path.write_text('{"meta": {}}\n{"step": 0, "t": 0.0}\n')
+        path.write_text('{"meta": {}}\n{"step": 0, "t": 0.0}\n'
+                        '{"step": 1, "t": 0.1}\n')
         with pytest.raises(ValueError, match="missing channel"):
             read_trace_jsonl(path)
+
+
+class TestTruncation:
+    """A stream cut off mid-write salvages the prefix with a warning;
+    corruption *inside* the file stays a hard error."""
+
+    def test_incomplete_final_line_salvages_prefix(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(trace, path)
+        text = path.read_text()
+        path.write_text(text[: int(len(text) * 0.8)])  # cut mid-record
+        with pytest.warns(TraceTruncationWarning, match="kept"):
+            back = read_trace_jsonl(path)
+        assert 0 < len(back) < len(trace)
+        for a, b in zip(back, trace):
+            assert a == b
+
+    def test_truncated_gzip_stream_salvages_prefix(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl.gz"
+        write_trace_jsonl(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 20])  # chop the gzip tail
+        with pytest.warns(TraceTruncationWarning):
+            back = read_trace_jsonl(path)
+        assert len(back) < len(trace)
+
+    def test_truncated_bytes_payload_salvages_prefix(self):
+        trace = sample_trace()
+        data = trace_to_jsonl_bytes(trace)
+        with pytest.warns(TraceTruncationWarning):
+            back = trace_from_jsonl_bytes(data[: len(data) - 20])
+        assert len(back) < len(trace)
+
+    def test_bytes_roundtrip_uncompressed(self):
+        trace = sample_trace()
+        data = trace_to_jsonl_bytes(trace, compress=False)
+        back = trace_from_jsonl_bytes(data)
+        assert len(back) == len(trace)
+
+    def test_midfile_corruption_still_hard_error(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        lines[5] = lines[5][:40]  # broken record with records after it
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceIOError, match=":6"):
+            read_trace_jsonl(path)
+
+    def test_header_only_file_is_empty_trace(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(trace, path)
+        header = path.read_text().splitlines()[0]
+        path.write_text(header + "\n")
+        back = read_trace_jsonl(path)
+        assert len(back) == 0
+        assert back.meta.scenario == trace.meta.scenario
 
 
 class TestCsv:
