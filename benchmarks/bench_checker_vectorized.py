@@ -1,0 +1,50 @@
+"""Bench — vectorized offline checker vs the per-step oracle.
+
+Times the vectorized engine on a small simulated campaign and *fails* if
+its verdicts drift from the per-step engine's — this is the CI tripwire
+for checker-equivalence regressions.  Full measurements (including the
+binary-vs-JSONL payload comparison) are produced by
+``python -m repro.core.checker``, which writes ``BENCH_checker.json``.
+"""
+
+import pytest
+
+from repro.attacks.campaign import standard_attack
+from repro.core.checker import check_trace
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import standard_scenarios
+
+
+@pytest.fixture(scope="module")
+def campaign_traces(quick_config):
+    traces = []
+    for attack in ("none", "gps_bias", "gps_freeze", "radar_scale"):
+        scenario = standard_scenarios(
+            seed=7, duration=quick_config.duration)[quick_config.scenario]
+        campaign = (standard_attack(attack, onset=quick_config.attack_onset)
+                    if attack != "none" else None)
+        trace = run_scenario(scenario, controller="pure_pursuit",
+                             campaign=campaign).trace
+        trace.columns()  # checker input is the columnar view
+        traces.append(trace)
+    return traces
+
+
+def test_checker_vectorized(benchmark, campaign_traces):
+    reports = benchmark.pedantic(
+        lambda: [check_trace(t, engine="vector") for t in campaign_traces],
+        rounds=1, iterations=1)
+    # Equivalence drift fails the suite — the speedup is worthless if the
+    # two engines stop agreeing.
+    for trace, vectorized in zip(campaign_traces, reports):
+        oracle = check_trace(trace, engine="step")
+        assert vectorized.summaries == oracle.summaries, trace.meta.attack
+        assert vectorized.violations == oracle.violations, trace.meta.attack
+        assert vectorized.duration == oracle.duration
+
+
+def test_checker_step_oracle(benchmark, campaign_traces):
+    reports = benchmark.pedantic(
+        lambda: [check_trace(t, engine="step") for t in campaign_traces],
+        rounds=1, iterations=1)
+    assert any(r.any_fired for r in reports)  # the attacks are not invisible

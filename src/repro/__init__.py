@@ -34,10 +34,10 @@ from repro.sim import RunResult, Scenario, run_scenario, standard_scenarios
 from repro.sim.scenario import acc_scenario
 from repro.trace import Trace, compute_metrics, diff_traces
 
-# 1.1: fault injection + degradation supervisor extend the trace schema
-# (fault/supervisor ground-truth channels), which also salts the run
-# cache — 1.0 entries are invalidated rather than misread.
-__version__ = "1.1.0"
+# 1.2: columnar trace backend + vectorized assertion checking; the run
+# cache moves to the binary trace format (cache layout v2 — older
+# entries live under a separate root and are simply not found).
+__version__ = "1.2.0"
 
 __all__ = [
     "run_scenario",

@@ -18,6 +18,12 @@ Commands:
 * ``list`` — show available scenarios, controllers, attacks, faults,
   assertions.
 
+Global flags: ``--profile [FILE]`` (or ``ADASSURE_PROFILE=1``) wraps the
+whole command in :mod:`cProfile`, writes a ``pstats`` dump (default
+``adassure.pstats``), prints the top-20 functions by cumulative time, and
+— when combined with ``experiment --stats --stats-json`` — embeds that
+summary into the stats JSON.
+
 Invalid inputs (negative intensities, onsets past the scenario end, empty
 seed lists) exit with status 2 and an actionable message on stderr.
 """
@@ -25,6 +31,7 @@ seed lists) exit with status 2 and an actionable message on stderr.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.attacks.campaign import ATTACK_CLASSES, standard_attack
@@ -35,7 +42,7 @@ from repro.core.report import render_check_report, render_diagnosis
 from repro.faults.campaign import FAULT_CLASSES, standard_fault
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import acc_scenario, standard_scenarios
-from repro.trace.io import read_trace_jsonl, write_trace_jsonl
+from repro.trace.io import read_trace_auto, write_trace_jsonl, write_trace_npz
 
 __all__ = ["main"]
 
@@ -80,13 +87,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"max|cte|={m.max_abs_cte:.2f} m  goal={'yes' if m.goal_reached else 'no'}  "
           f"diverged={'yes' if result.outcome.diverged else 'no'}")
     if args.save:
-        write_trace_jsonl(result.trace, args.save)
+        if args.save.endswith(".npz"):
+            write_trace_npz(result.trace, args.save)
+        else:
+            write_trace_jsonl(result.trace, args.save)
         print(f"trace saved to {args.save}")
     return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    trace = read_trace_jsonl(args.trace)
+    trace = read_trace_auto(args.trace)
     report = check_trace(trace, default_catalog())
     print(render_check_report(report))
     print()
@@ -155,8 +165,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.trace.diff import diff_traces
 
-    reference = read_trace_jsonl(args.reference)
-    candidate = read_trace_jsonl(args.candidate)
+    reference = read_trace_auto(args.reference)
+    candidate = read_trace_auto(args.candidate)
     diff = diff_traces(reference, candidate)
     print(diff.render())
     return 0
@@ -166,7 +176,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.core.spec import CatalogSpec
     from repro.core.tuning import calibrate_catalog
 
-    traces = [read_trace_jsonl(path) for path in args.traces]
+    traces = [read_trace_auto(path) for path in args.traces]
     result = calibrate_catalog(traces, target_headroom=args.headroom)
     print(result.summary())
     spec = CatalogSpec.from_calibration(result)
@@ -204,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="ADAssure: assertion-based debugging for AD control "
                     "algorithms (DATE 2024 reproduction)",
     )
+    parser.add_argument("--profile", nargs="?", const="adassure.pstats",
+                        default=None, metavar="FILE",
+                        help="cProfile the command; write a pstats dump "
+                             "(default adassure.pstats) and print the "
+                             "top-20 cumulative functions "
+                             "(env: ADASSURE_PROFILE=1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="simulate, check and diagnose one run")
@@ -222,12 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--intensity", type=float, default=1.0)
     p_run.add_argument("--onset", type=float, default=15.0)
     p_run.add_argument("--seed", type=int, default=7)
-    p_run.add_argument("--save", metavar="TRACE.jsonl",
-                       help="save the trace for later 'adassure check'")
+    p_run.add_argument("--save", metavar="TRACE.{jsonl,npz}",
+                       help="save the trace for later 'adassure check' "
+                            "(a .npz suffix selects the columnar binary "
+                            "format; anything else writes JSONL)")
     p_run.set_defaults(func=_cmd_run)
 
     p_check = sub.add_parser("check", help="check a saved trace file")
-    p_check.add_argument("trace", help="path to a .jsonl trace")
+    p_check.add_argument("trace",
+                         help="path to a saved trace (.jsonl/.jsonl.gz/"
+                              ".npz; format is sniffed)")
     p_check.set_defaults(func=_cmd_check)
 
     p_exp = sub.add_parser("experiment", help="regenerate evaluation tables")
@@ -280,9 +300,84 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profile_file(args: argparse.Namespace) -> str | None:
+    """The pstats output path when profiling is requested, else ``None``."""
+    if args.profile is not None:
+        return args.profile
+    flag = os.environ.get("ADASSURE_PROFILE", "").strip().lower()
+    if flag in ("", "0", "off", "false", "no"):
+        return None
+    # Any other value enables profiling; a value with a path separator or
+    # .pstats suffix doubles as the output file name.
+    if flag in ("1", "on", "true", "yes"):
+        return "adassure.pstats"
+    return os.environ["ADASSURE_PROFILE"].strip()
+
+
+def _profile_top(stats, n: int = 20) -> list[dict]:
+    """The ``n`` heaviest rows of a :class:`pstats.Stats` by cumulative time."""
+    rows = []
+    for (file, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append({
+            "function": f"{file}:{line}({name})",
+            "calls": nc,
+            "tottime_s": round(tt, 4),
+            "cumtime_s": round(ct, 4),
+        })
+    rows.sort(key=lambda r: -r["cumtime_s"])
+    return rows[:n]
+
+
+def _run_profiled(args: argparse.Namespace, pstats_file: str) -> int:
+    """Execute the command under cProfile: the run+check hot path and
+    everything around it.  Dumps the raw profile, prints the top-20
+    cumulative summary, and merges both into the ``--stats-json`` payload
+    when the command wrote one."""
+    import cProfile
+    import io
+    import json
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        rc = args.func(args)
+    finally:
+        profiler.disable()
+    profiler.dump_stats(pstats_file)
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stream = stats.stream
+    stats.sort_stats("cumulative").print_stats(20)
+    print()
+    print("-- profile (top 20 by cumulative time) --")
+    print(stream.getvalue().rstrip())
+    print(f"profile written to {pstats_file}")
+
+    stats_json = getattr(args, "stats_json", None)
+    if stats_json and getattr(args, "stats", False):
+        # Embed the summary into the stats output the command just wrote.
+        try:
+            from pathlib import Path
+            path = Path(stats_json)
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload["profile"] = {
+                "pstats_file": pstats_file,
+                "top_cumulative": _profile_top(stats),
+            }
+            path.write_text(json.dumps(payload, indent=2) + "\n",
+                            encoding="utf-8")
+            print(f"profile summary merged into {stats_json}")
+        except (OSError, ValueError):
+            pass  # the profile dump itself already succeeded
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        pstats_file = _profile_file(args)
+        if pstats_file is not None:
+            return _run_profiled(args, pstats_file)
         return args.func(args)
     except ValueError as exc:
         # Input validation: every layer below raises ValueError with an

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.core.dsl import BoundAssertion, TraceAssertion, WindowMeanBoundAssertion
 from repro.geom.angles import angle_diff
-from repro.trace.schema import TraceRecord
+from repro.trace.schema import TraceColumns, TraceRecord
 
 __all__ = [
     "default_catalog",
@@ -308,25 +310,63 @@ class RouteProgressAssertion(TraceAssertion):
 
     def on_reset(self) -> None:
         self._buffer: list[tuple[float, float, float]] = []  # (t, station, target_v)
+        # Prefix sums over target speed (reset on station wrap): the
+        # window mean is (cum - prev_cum) / len(buffer), which the
+        # vectorized path reproduces bit-for-bit via np.cumsum.
+        self._cum = 0.0
+        self._prev_cum = 0.0
 
     def margin(self, record: TraceRecord) -> float | None:
         buf = self._buffer
         if buf and record.station_est < buf[-1][1] - 10.0:
             # Station wrapped (closed route) or projection snapped; restart.
             buf.clear()
+            self._cum = 0.0
+            self._prev_cum = 0.0
         buf.append((record.t, record.station_est, record.target_speed))
+        self._cum = self._cum + record.target_speed
         cutoff = record.t - self.window
         while buf and buf[0][0] < cutoff:
-            buf.pop(0)
+            self._prev_cum = self._prev_cum + buf.pop(0)[2]
         span = buf[-1][0] - buf[0][0]
         if span < 0.75 * self.window:
             return None
-        mean_target = sum(v for _, _, v in buf) / len(buf)
+        mean_target = (self._cum - self._prev_cum) / len(buf)
         if mean_target < self.min_target:
             return None
         expected = mean_target * span * self.min_fraction
         actual = buf[-1][1] - buf[0][1]
         return actual / expected - 1.0
+
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        t = cols.t
+        n = t.size
+        station = np.asarray(cols.station_est, dtype=np.float64)
+        target = np.asarray(cols.target_speed, dtype=np.float64)
+        margins = np.zeros(n, dtype=np.float64)
+        applicable = np.zeros(n, dtype=bool)
+        # Segment boundaries: the per-step path clears its buffer when
+        # the station drops by more than 10 m between consecutive steps.
+        wraps = np.flatnonzero(station[1:] < station[:-1] - 10.0) + 1
+        seg_starts = np.concatenate(([0], wraps, [n]))
+        idx = np.arange(n)
+        win_lo = np.searchsorted(t, t - self.window, side="left")
+        for a, b in zip(seg_starts[:-1].tolist(), seg_starts[1:].tolist()):
+            lo = np.maximum(win_lo[a:b], a)
+            cum = np.cumsum(target[a:b])
+            prev = np.where(lo > a, cum[lo - a - 1], 0.0)
+            count = idx[a:b] - lo + 1
+            span = t[a:b] - t[lo]
+            mean_target = (cum - prev) / count
+            ok = ~(span < 0.75 * self.window) & ~(mean_target < self.min_target)
+            expected = mean_target * span * self.min_fraction
+            actual = station[a:b] - station[lo]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                margins[a:b] = np.where(ok, actual / expected - 1.0, 0.0)
+            applicable[a:b] = ok
+        return margins, applicable
 
 
 class SteeringOscillationAssertion(TraceAssertion):
@@ -352,17 +392,20 @@ class SteeringOscillationAssertion(TraceAssertion):
 
     def on_reset(self) -> None:
         self._buffer: list[tuple[float, float]] = []
+        self._cum = 0.0
+        self._prev_cum = 0.0
 
     def margin(self, record: TraceRecord) -> float | None:
         buf = self._buffer
         buf.append((record.t, record.steer_cmd))
+        self._cum = self._cum + record.steer_cmd
         cutoff = record.t - self.window
         while buf and buf[0][0] < cutoff:
-            buf.pop(0)
+            self._prev_cum = self._prev_cum + buf.pop(0)[1]
         span = buf[-1][0] - buf[0][0]
         if span < 0.75 * self.window or record.est_v < self.min_speed:
             return None
-        mean = sum(s for _, s in buf) / len(buf)
+        mean = (self._cum - self._prev_cum) / len(buf)
         last_sign = 0
         changes = 0
         for _, s in buf:
@@ -374,6 +417,57 @@ class SteeringOscillationAssertion(TraceAssertion):
                 last_sign = sign
         rate = changes / span
         return 1.0 - rate / self.max_rate_hz
+
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        t = cols.t
+        n = t.size
+        steer = np.asarray(cols.steer_cmd, dtype=np.float64)
+        margins = np.zeros(n, dtype=np.float64)
+        lo = np.searchsorted(t, t - self.window, side="left")
+        span = t - t[lo]
+        applicable = (~(span < 0.75 * self.window)
+                      & ~(cols.est_v < self.min_speed))
+        cum = np.cumsum(steer)
+        prev = np.where(lo > 0, cum[lo - 1], 0.0)
+        count = np.arange(1, n + 1) - lo
+        means = (cum - prev) / count
+        rows = np.flatnonzero(applicable)
+        if rows.size == 0:
+            return margins, applicable
+        # The sign-change count depends on the window *mean*, which moves
+        # every step — no shared prefix structure — so build one
+        # right-aligned 2D view of all applicable windows and count
+        # alternations along the rows.  Out-of-window cells are forced to
+        # sign 0, which the skip-zeros semantics ignores, exactly like
+        # the per-step deadband does; NaN deviations compare False on
+        # both sides -> sign 0 there too.
+        width = int(count[rows].max())
+        padded = np.concatenate((np.zeros(width - 1), steer))
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, width)[rows]
+        dev = windows - means[rows, None]
+        signs = ((dev > self.deadband).astype(np.int8)
+                 - (dev < -self.deadband).astype(np.int8))
+        cols_idx = np.arange(width)
+        in_window = cols_idx[None, :] >= (lo[rows] - rows + width - 1)[:, None]
+        signs[~in_window] = 0
+        nonzero = signs != 0
+        # Index of the last nonzero sign strictly before each cell.
+        last_nz = np.maximum.accumulate(
+            np.where(nonzero, cols_idx[None, :], -1), axis=1)
+        prev_nz = np.concatenate(
+            (np.full((rows.size, 1), -1, dtype=last_nz.dtype),
+             last_nz[:, :-1]), axis=1)
+        prev_sign = np.take_along_axis(
+            signs, np.maximum(prev_nz, 0), axis=1)
+        prev_sign[prev_nz < 0] = 0
+        flips = nonzero & (prev_sign != 0) & (signs != prev_sign)
+        changes = np.count_nonzero(flips, axis=1)
+        rate = changes / span[rows]
+        margins[rows] = 1.0 - rate / self.max_rate_hz
+        return margins, applicable
 
 
 class SteeringSaturationAssertion(TraceAssertion):
@@ -408,6 +502,22 @@ class SteeringSaturationAssertion(TraceAssertion):
         fraction = sum(1 for _, sat in buf if sat) / len(buf)
         return 1.0 - fraction / self.max_fraction
 
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Saturated-sample fractions are integer-count ratios, so the
+        # prefix-sum-of-counts form is exact (int64 counts, one division).
+        t = cols.get("t")
+        sat = np.abs(cols.get("steer_cmd")) >= self.threshold
+        cum = np.cumsum(sat.astype(np.int64))
+        lo = np.searchsorted(t, t - self.window, side="left")
+        count = np.arange(1, t.size + 1) - lo
+        prev = np.where(lo > 0, cum[lo - 1], 0)
+        fraction = (cum - prev) / count
+        margins = 1.0 - fraction / self.max_fraction
+        applicable = (t - t[lo]) >= 0.75 * self.window
+        return margins, applicable
+
 
 class SpeedTrackingAssertion(TraceAssertion):
     """A14 — estimated speed tracks the commanded target speed.
@@ -428,29 +538,70 @@ class SpeedTrackingAssertion(TraceAssertion):
 
     def on_reset(self) -> None:
         self._buffer: list[tuple[float, float]] = []
+        self._cum = 0.0
+        self._prev_cum = 0.0
+
+    def _clear(self) -> None:
+        self._buffer.clear()
+        self._cum = 0.0
+        self._prev_cum = 0.0
 
     def margin(self, record: TraceRecord) -> float | None:
         if record.target_speed < 1.0:
             # Stopping / stopped: tracking error is dominated by the
             # deliberate braking profile, not by a fault.
-            self._buffer.clear()
+            self._clear()
             return None
         if record.lead_present and record.radar_range < (
             5.0 + 2.5 * record.est_v
         ):
             # ACC is (apparently) constraining the speed below the cruise
             # profile: tracking error against the profile is expected.
-            self._buffer.clear()
+            self._clear()
             return None
+        # Window mean as a prefix-sum difference (the running sum restarts
+        # at every clear), matching the vectorized per-segment cumsum.
+        self._cum = self._cum + abs(record.est_v - record.target_speed)
         buf = self._buffer
-        buf.append((record.t, abs(record.est_v - record.target_speed)))
+        buf.append((record.t, self._cum))
         cutoff = record.t - self.window
         while buf and buf[0][0] < cutoff:
-            buf.pop(0)
+            self._prev_cum = buf.pop(0)[1]
         if buf[-1][0] - buf[0][0] < 0.75 * self.window:
             return None
-        mean = sum(e for _, e in buf) / len(buf)
+        mean = (self._cum - self._prev_cum) / len(buf)
         return 1.0 - mean / self.bound
+
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        t = cols.get("t")
+        clear = (cols.get("target_speed") < 1.0) | (
+            cols.get("lead_present")
+            & (cols.get("radar_range") < (5.0 + 2.5 * cols.get("est_v")))
+        )
+        margins = np.zeros(t.size, dtype=np.float64)
+        applicable = np.zeros(t.size, dtype=bool)
+        keep = ~clear
+        if not keep.any():
+            return margins, applicable
+        errors = np.abs(cols.get("est_v") - cols.get("target_speed"))
+        # Maximal runs of non-cleared samples; the window state restarts
+        # at each clear, so every run is an independent prefix-sum world.
+        flips = np.flatnonzero(keep[1:] != keep[:-1]) + 1
+        starts = np.concatenate(([0], flips))
+        ends = np.concatenate((flips, [keep.size]))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            if not keep[s]:
+                continue
+            tt = t[s:e]
+            cum = np.cumsum(errors[s:e])
+            lo = np.searchsorted(tt, tt - self.window, side="left")
+            count = np.arange(1, tt.size + 1) - lo
+            prev = np.where(lo > 0, cum[lo - 1], 0.0)
+            margins[s:e] = 1.0 - ((cum - prev) / count) / self.bound
+            applicable[s:e] = (tt - tt[lo]) >= 0.75 * self.window
+        return margins, applicable
 
 
 class GoalReachedAssertion(TraceAssertion):
@@ -506,6 +657,21 @@ class SafeHeadwayAssertion(TraceAssertion):
             return None
         headway = record.gap_true / record.true_v
         return headway / self.min_headway - 1.0
+
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Negated-comparison mask mirrors the per-step guard exactly
+        # (including how a NaN speed compares).
+        applicable = cols.get("lead_present") & ~(
+            cols.get("true_v") < self.min_speed
+        )
+        margins = np.zeros(applicable.size, dtype=np.float64)
+        idx = np.flatnonzero(applicable)
+        if idx.size:
+            headway = cols.get("gap_true")[idx] / cols.get("true_v")[idx]
+            margins[idx] = headway / self.min_headway - 1.0
+        return margins, applicable
 
 
 class RadarJumpAssertion(TraceAssertion):
@@ -608,22 +774,52 @@ class ControlResponsivenessAssertion(TraceAssertion):
 
     def on_reset(self) -> None:
         self._buffer: list[tuple[float, float, float]] = []  # (t, |cte|, |steer|)
+        self._cum = 0.0
+        self._prev_cum = 0.0
 
     def margin(self, record: TraceRecord) -> float | None:
         buf = self._buffer
         buf.append((record.t, abs(record.cte_est), abs(record.steer_cmd)))
+        self._cum = self._cum + abs(record.cte_est)
         cutoff = record.t - self.window
         while buf and buf[0][0] < cutoff:
-            buf.pop(0)
+            self._prev_cum = self._prev_cum + buf.pop(0)[1]
         if buf[-1][0] - buf[0][0] < 0.75 * self.window:
             return None
         if record.est_v < self.min_speed:
             return None
-        mean_cte = sum(c for _, c, _ in buf) / len(buf)
+        mean_cte = (self._cum - self._prev_cum) / len(buf)
         if mean_cte < self.cte_threshold:
             return None
         max_response = max(s for _, _, s in buf)
         return max_response / self.min_response - 1.0
+
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        t = cols.t
+        n = t.size
+        cte_abs = np.abs(np.asarray(cols.cte_est, dtype=np.float64))
+        steer_abs = np.abs(np.asarray(cols.steer_cmd, dtype=np.float64))
+        margins = np.zeros(n, dtype=np.float64)
+        lo = np.searchsorted(t, t - self.window, side="left")
+        span = t - t[lo]
+        cum = np.cumsum(cte_abs)
+        prev = np.where(lo > 0, cum[lo - 1], 0.0)
+        count = np.arange(1, n + 1) - lo
+        mean_cte = (cum - prev) / count
+        applicable = (~(span < 0.75 * self.window)
+                      & ~(cols.est_v < self.min_speed)
+                      & ~(mean_cte < self.cte_threshold))
+        # The window max has no prefix structure; scan only the (rare)
+        # applicable windows.  fmax skips NaN like the per-step Python
+        # max does — unless the window *starts* on NaN, which Python max
+        # propagates, so mirror that case explicitly.
+        for i in np.flatnonzero(applicable).tolist():
+            seg = steer_abs[lo[i]:i + 1]
+            mx = seg[0] if np.isnan(seg[0]) else np.fmax.reduce(seg)
+            margins[i] = mx / self.min_response - 1.0
+        return margins, applicable
 
 
 class ActuationConsistencyAssertion(TraceAssertion):
@@ -701,6 +897,14 @@ class DegradedTrackingAssertion(TraceAssertion):
             return None
         return 1.0 - abs(record.cte_true) / self.bound
 
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        applicable = cols.get("fault_active") & (
+            cols.get("supervisor_mode") != "safe_stop"
+        )
+        return 1.0 - np.abs(cols.get("cte_true")) / self.bound, applicable
+
 
 class SafeStopEngagementAssertion(TraceAssertion):
     """A22 — multi-sensor loss must provoke a stop within a grace period.
@@ -764,6 +968,36 @@ class SafeStopEngagementAssertion(TraceAssertion):
             1.0 - record.true_v / self.stop_speed,
             -record.accel_cmd / self.brake_floor - 1.0,
         )
+
+    _FLAG_CHANNELS = (("gps", "gps_fresh"), ("compass", "compass_fresh"),
+                      ("odometry", "odom_fresh"), ("imu", "imu_fresh"))
+
+    def margin_array(
+        self, cols: TraceColumns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        t = cols.t
+        n = t.size
+        idx = np.arange(n)
+        stale_cnt = np.zeros(n, dtype=np.int64)
+        for channel, flag in self._FLAG_CHANNELS:
+            # Time of the most recent fresh sample (the first record
+            # seeds every channel, mirroring the per-step init).
+            last = t[np.maximum.accumulate(
+                np.where(cols.get(flag), idx, 0))]
+            stale_cnt += (t - last) > self._STALE_AFTER[channel]
+        active = stale_cnt >= self.lost_channels
+        starts = active.copy()
+        starts[1:] = active[1:] & ~active[:-1]
+        since = t[np.maximum.accumulate(np.where(starts, idx, 0))]
+        applicable = active & ~(t - since <= self.grace)
+        stopping = 1.0 - cols.get("true_v") / self.stop_speed
+        braking = -cols.get("accel_cmd") / self.brake_floor - 1.0
+        # np.where(b > a, b, a) is Python's max(a, b) exactly, NaN
+        # ordering included.
+        margins = np.where(applicable,
+                           np.where(braking > stopping, braking, stopping),
+                           0.0)
+        return margins, applicable
 
 
 # ---------------------------------------------------------------------------
@@ -832,6 +1066,12 @@ def _make_a12() -> TraceAssertion:
         def margin(self, record: TraceRecord) -> float:
             lat = abs(record.est_v * record.imu_yaw_rate)
             return 1.0 - lat / 4.5
+
+        def margin_array(
+            self, cols: TraceColumns
+        ) -> tuple[np.ndarray, None]:
+            lat = np.abs(cols.get("est_v") * cols.get("imu_yaw_rate"))
+            return 1.0 - lat / 4.5, None
 
     return LateralAccelAssertion()
 

@@ -1,9 +1,11 @@
 """Online assertion monitor.
 
 Feeds records to a set of assertions as they are produced and surfaces
-violations the moment their episodes close.  The offline checker wraps the
-same monitor, which is what guarantees identical online/offline verdicts
-(tested in ``tests/test_core_checker.py``).
+violations the moment their episodes close.  The offline checker's
+``engine="step"`` path wraps this same monitor; its default vectorized
+engine produces byte-identical reports and is differential-tested against
+the monitor (``tests/test_core_checker.py``,
+``tests/test_checker_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -14,7 +16,47 @@ from repro.core.dsl import TraceAssertion
 from repro.core.verdicts import CheckReport, Violation
 from repro.trace.schema import Trace, TraceRecord
 
-__all__ = ["OnlineMonitor"]
+__all__ = ["OnlineMonitor", "build_report"]
+
+
+def build_report(
+    assertions: Sequence[TraceAssertion],
+    trace: Trace | None = None,
+    *,
+    first_record: TraceRecord | None = None,
+    last_record: TraceRecord | None = None,
+) -> CheckReport:
+    """Assemble a :class:`CheckReport` from already-finished assertions.
+
+    Shared by the online monitor and the vectorized offline checker so
+    both produce reports with identical structure: summaries in catalog
+    order, violations sorted by ``(t_start, assertion_id)``, duration and
+    labels from the trace metadata when available.
+    """
+    all_violations: list[Violation] = []
+    summaries = {}
+    for assertion in assertions:
+        summary = assertion.summarize()
+        summaries[assertion.assertion_id] = summary
+        all_violations.extend(assertion.violations)
+    all_violations.sort(key=lambda v: (v.t_start, v.assertion_id))
+    meta = trace.meta if trace is not None else None
+    if trace is not None:
+        duration = trace.duration
+    elif last_record is not None and first_record is not None:
+        # Span of the observed stream, matching Trace.duration (which
+        # is 0.0 for traces of fewer than two records).
+        duration = last_record.t - first_record.t
+    else:
+        duration = 0.0
+    return CheckReport(
+        scenario=meta.scenario if meta else "",
+        controller=meta.controller if meta else "",
+        attack_label=meta.attack if meta else "",
+        duration=duration,
+        violations=all_violations,
+        summaries=summaries,
+    )
 
 
 class OnlineMonitor:
@@ -75,29 +117,10 @@ class OnlineMonitor:
         if self._finished:
             raise RuntimeError("monitor already finished")
         self._finished = True
-        all_violations: list[Violation] = []
         for assertion in self.assertions:
             assertion.finish(self._last_record)
-        summaries = {}
-        for assertion in self.assertions:
-            summary = assertion.summarize()
-            summaries[assertion.assertion_id] = summary
-            all_violations.extend(assertion.violations)
-        all_violations.sort(key=lambda v: (v.t_start, v.assertion_id))
-        meta = trace.meta if trace is not None else None
-        if trace is not None:
-            duration = trace.duration
-        elif self._last_record is not None and self._first_record is not None:
-            # Span of the observed stream, matching Trace.duration (which
-            # is 0.0 for traces of fewer than two records).
-            duration = self._last_record.t - self._first_record.t
-        else:
-            duration = 0.0
-        return CheckReport(
-            scenario=meta.scenario if meta else "",
-            controller=meta.controller if meta else "",
-            attack_label=meta.attack if meta else "",
-            duration=duration,
-            violations=all_violations,
-            summaries=summaries,
+        return build_report(
+            self.assertions, trace,
+            first_record=self._first_record,
+            last_record=self._last_record,
         )

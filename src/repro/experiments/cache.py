@@ -10,10 +10,17 @@ revision is silently invalidated by the next.
 
 Layout (under ``$ADASSURE_CACHE_DIR`` or ``~/.cache/adassure``)::
 
-    <root>/v1/ab/<key>.trace.jsonl.gz   gzip'd JSONL trace (inspectable
-                                        with zcat / `adassure check`)
-    <root>/v1/ab/<key>.scored.pkl       pickled scenario + metrics +
+    <root>/v2/ab/<key>.trace.npz        version-stamped columnar binary
+                                        trace (``repro.trace.io``;
+                                        inspectable via `adassure check`)
+    <root>/v2/ab/<key>.scored.pkl       pickled scenario + metrics +
                                         outcome + CheckReport + diagnosis
+
+Traces are stored as the binary bytes themselves — no re-compression
+wrapper — so a cache hit deserializes straight into the columnar view
+the vectorized checker consumes.  Loading sniffs the payload format, so
+a cache directory can in principle hold older JSONL entries too (the
+``v2`` root isolates this layout from ``v1`` regardless).
 
 Entries are written atomically (tmp file + rename) so concurrent workers
 and concurrent campaigns can share a cache directory.  Any unreadable or
@@ -38,8 +45,8 @@ from repro.core.verdicts import CheckReport
 from repro.sim.engine import RunResult
 from repro.trace.io import (
     TraceTruncationWarning,
-    trace_from_jsonl_bytes,
-    trace_to_jsonl_bytes,
+    trace_from_bytes,
+    trace_to_npz_bytes,
 )
 
 __all__ = [
@@ -52,10 +59,14 @@ __all__ = [
     "default_cache_dir",
 ]
 
-CACHE_FORMAT_VERSION = 1
-"""Bumped whenever the on-disk entry layout changes."""
+CACHE_FORMAT_VERSION = 2
+"""Bumped whenever the on-disk entry layout changes.
 
-_TRACE_SUFFIX = ".trace.jsonl.gz"
+v2: traces stored as columnar ``.trace.npz`` binary instead of gzip'd
+JSONL (smaller entries, much faster loads, no double compression).
+"""
+
+_TRACE_SUFFIX = ".trace.npz"
 _SCORED_SUFFIX = ".scored.pkl"
 
 
@@ -140,9 +151,9 @@ class RunCache:
     """Persistent store of scored runs, keyed by :func:`cache_key`.
 
     The value side is the ``(result, report, diagnosis)`` triple the grid
-    runner produces: the trace travels as compressed JSONL (exact float
-    round-trip), everything derived (scenario object, metrics, outcome,
-    check report, diagnosis) as one pickle.
+    runner produces: the trace travels as the columnar binary format
+    (exact float round-trip), everything derived (scenario object,
+    metrics, outcome, check report, diagnosis) as one pickle.
     """
 
     def __init__(self, root: str | Path | None = None):
@@ -188,8 +199,11 @@ class RunCache:
                 # Entries are written atomically, so a truncated payload
                 # here is corruption, not an interrupted write — the
                 # salvage path must not quietly serve a shortened trace.
+                # (Binary traces already hard-fail on truncation; the
+                # filter covers any legacy JSONL payloads the format
+                # sniffer accepts.)
                 warnings.simplefilter("error", TraceTruncationWarning)
-                trace = trace_from_jsonl_bytes(trace_path.read_bytes())
+                trace = trace_from_bytes(trace_path.read_bytes())
             with scored_path.open("rb") as f:
                 scored = pickle.load(f)
             result = RunResult(
@@ -232,8 +246,11 @@ class RunCache:
                 "report": report,
                 "diagnosis": diagnosis,
             }
+            # Store the binary bytes directly: the npz payload is already
+            # compressed, so wrapping it in another encoder would only
+            # add CPU and size (the v1 layout's double-gzip mistake).
             self._atomic_write(self._trace_path(key),
-                               trace_to_jsonl_bytes(result.trace))
+                               trace_to_npz_bytes(result.trace))
             self._atomic_write(self._scored_path(key),
                                pickle.dumps(scored, protocol=pickle.HIGHEST_PROTOCOL))
             self.counters.stores += 1

@@ -26,6 +26,8 @@ Expected shape, measured in EXPERIMENTS.md:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_scored
 from repro.experiments.tables import Table
@@ -118,10 +120,12 @@ def build_degradation_table(config: ExperimentConfig | None = None,
                 ctes.append(result.metrics.max_abs_cte)
                 for aid in _WATCHED:
                     fired[aid] += aid in report.fired_ids
-                engaged = [rec.t for rec in result.trace
-                           if rec.supervisor_mode == "safe_stop"]
-                if engaged:
-                    stop_latencies.append(engaged[0] - onset)
+                cols = result.trace.columns()
+                engaged = np.flatnonzero(
+                    cols.get("supervisor_mode") == "safe_stop")
+                if engaged.size:
+                    stop_latencies.append(
+                        float(cols.get("t")[engaged[0]]) - onset)
             n = len(config.seeds)
             survived = n - crashes
             mean_stop = (sum(stop_latencies) / len(stop_latencies)

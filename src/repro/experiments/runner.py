@@ -238,12 +238,49 @@ def _execute_point(point: tuple) -> tuple[tuple, GridRun, dict]:
     return point, run, phases
 
 
+def _chunk_size(n_points: int, n_workers: int) -> int:
+    """Points per pool task: ``$ADASSURE_CHUNK`` or a load-balance heuristic.
+
+    Batching amortizes per-task pickle/dispatch overhead, but chunks must
+    stay small enough that every worker gets several (load balancing, and
+    a lost chunk costs little).  Four chunks per worker, capped at 8
+    points each; small grids keep chunk size 1.
+    """
+    env = os.environ.get("ADASSURE_CHUNK")
+    if env:
+        try:
+            return max(int(env), 1)
+        except ValueError:
+            pass
+    return max(1, min(8, n_points // (4 * n_workers)))
+
+
+def _execute_chunk(points: list[tuple]) -> list[tuple]:
+    """Pool work unit: execute a batch of points in one task.
+
+    Failures are captured *per point* — ``(point, None, None, error)``
+    instead of ``(point, run, phases, None)`` — so one sick point does
+    not discard its chunk-mates' finished work.  Calls
+    ``_execute_point`` through the module global so test sabotage
+    (monkeypatched into forked workers) still applies.
+    """
+    out = []
+    for point in points:
+        try:
+            out.append(_execute_point(point) + (None,))
+        except Exception as exc:
+            out.append((point, None, None, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
 def _run_pool(points: list[tuple], n_workers: int, merge, stats,
               timeout: float | None) -> list[tuple]:
     """Fan points over a process pool; returns ``(point, failures)`` leftovers.
 
-    The pool half of the fault-tolerance contract: a point that exceeds
-    ``timeout`` is abandoned (its worker may be hung, so the pool is
+    Points are submitted in chunks (:func:`_chunk_size`) to amortize
+    pool/pickle overhead.  The pool half of the fault-tolerance contract:
+    a chunk that exceeds its wall-clock budget (``timeout`` scaled by
+    chunk length) is abandoned (its worker may be hung, so the pool is
     dropped without joining it), a point that raises comes back with one
     failure on its ledger, and a pool collapse
     (:class:`BrokenProcessPool` — a worker OOM-killed or dying mid-task)
@@ -252,30 +289,47 @@ def _run_pool(points: list[tuple], n_workers: int, merge, stats,
     """
     leftover: list[tuple] = []
     abandoned = False
+    size = _chunk_size(len(points), n_workers)
+    stats.chunk_size = size
+    chunks = [points[i:i + size] for i in range(0, len(points), size)]
     pool = ProcessPoolExecutor(max_workers=n_workers)
+
+    def merge_outcomes(outcomes: list[tuple]) -> None:
+        for point, run, phases, error in outcomes:
+            if error is None:
+                merge(point, run, phases)
+            else:
+                leftover.append((point, 1))
+
     try:
-        futures = [(pool.submit(_execute_point, point), point)
-                   for point in points]
-        for index, (future, point) in enumerate(futures):
+        futures = [(pool.submit(_execute_chunk, chunk), chunk)
+                   for chunk in chunks]
+        for index, (future, chunk) in enumerate(futures):
+            budget = None if timeout is None else timeout * len(chunk)
             try:
-                merge(*future.result(timeout=timeout))
+                outcomes = future.result(timeout=budget)
             except FutureTimeout:
                 stats.timeouts += 1
-                leftover.append((point, 0))
+                leftover.extend((point, 0) for point in chunk)
                 abandoned = True
+                continue
             except BrokenProcessPool:
                 stats.pool_failures += 1
-                for late_future, late_point in futures[index:]:
+                for late_future, late_chunk in futures[index:]:
                     if (late_future.done() and not late_future.cancelled()
                             and late_future.exception() is None):
-                        merge(*late_future.result())
+                        merge_outcomes(late_future.result())
                     else:
-                        leftover.append((late_point, 0))
+                        leftover.extend((p, 0) for p in late_chunk)
                 break
             except Exception:
-                leftover.append((point, 1))
+                # Chunk-level failure (e.g. the result failed to pickle):
+                # every point of the chunk gets one failure on its ledger.
+                leftover.extend((point, 1) for point in chunk)
+                continue
+            merge_outcomes(outcomes)
     finally:
-        # A hung worker must not hang the campaign: once a point has been
+        # A hung worker must not hang the campaign: once a chunk has been
         # abandoned, drop the pool without waiting for its processes.
         pool.shutdown(wait=not abandoned, cancel_futures=True)
     return leftover

@@ -52,6 +52,8 @@ class GridStats:
     quarantined: list = field(default_factory=list)
     """Points that kept failing after every retry: ``(point, error)``."""
     workers: int = 1
+    chunk_size: int = 1
+    """Points batched per pool task (1 = unchunked / serial)."""
     wall_time: float = 0.0
     phase_time: dict = field(default_factory=lambda: dict.fromkeys(PHASES, 0.0))
     """Per-phase busy seconds, summed over workers."""
@@ -84,6 +86,7 @@ class GridStats:
         self.pool_failures += other.pool_failures
         self.quarantined.extend(other.quarantined)
         self.workers = max(self.workers, other.workers)
+        self.chunk_size = max(self.chunk_size, other.chunk_size)
         self.wall_time += other.wall_time
         for phase in PHASES:
             self.phase_time[phase] += other.phase_time.get(phase, 0.0)
@@ -104,6 +107,7 @@ class GridStats:
             ],
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "workers": self.workers,
+            "chunk_size": self.chunk_size,
             "wall_time_s": round(self.wall_time, 4),
             "busy_time_s": round(self.busy_time, 4),
             "worker_utilization": round(self.worker_utilization, 4),
@@ -119,6 +123,7 @@ class GridStats:
             f"disk hits {self.disk_hits}, disk errors {self.disk_errors})",
             f"cache hit   : {100.0 * self.cache_hit_rate:.1f}%",
             f"workers     : {self.workers}  "
+            f"(chunk {self.chunk_size})  "
             f"utilization {100.0 * self.worker_utilization:.1f}%",
             f"wall time   : {self.wall_time:.2f}s  "
             f"(busy {self.busy_time:.2f}s)",
@@ -273,6 +278,7 @@ def _bench_main(argv: list[str] | None = None) -> int:
         "grid": {k: list(v) if isinstance(v, tuple) else v
                  for k, v in grid.items()} | {"points": grid_size},
         "parallel_workers": args.workers,
+        "chunk_size": STATS.total.chunk_size,
         "timings_s": {k: round(v, 4) for k, v in timings.items()},
         "speedups": {
             "parallel_vs_serial_cold": round(

@@ -30,12 +30,10 @@ def moving_average(signal: Sequence[float] | np.ndarray, window: int) -> np.ndar
     if x.size == 0:
         return x.copy()
     cumsum = np.cumsum(x)
-    out = np.empty_like(x)
-    for i in range(x.size):
-        lo = max(0, i - window + 1)
-        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
-        out[i] = total / (i - lo + 1)
-    return out
+    idx = np.arange(x.size)
+    lo = np.maximum(0, idx - window + 1)
+    prev = np.where(lo > 0, cumsum[lo - 1], 0.0)
+    return (cumsum - prev) / (idx - lo + 1)
 
 
 def sliding_windows(
@@ -63,13 +61,10 @@ def sign_change_rate(
     if x.size < 2:
         return 0.0
     quantized = np.where(x > deadband, 1, np.where(x < -deadband, -1, 0))
-    last = 0
-    changes = 0
-    for q in quantized:
-        if q != 0:
-            if last != 0 and q != last:
-                changes += 1
-            last = q
+    # A change is two consecutive *non-zero* signs that differ; dropping
+    # the in-deadband zeros first makes that a single pairwise compare.
+    signs = quantized[quantized != 0]
+    changes = int(np.count_nonzero(signs[1:] != signs[:-1]))
     return changes / (x.size * dt)
 
 

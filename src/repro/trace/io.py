@@ -1,24 +1,35 @@
-"""Trace serialization: JSONL (lossless) and CSV (spreadsheet-friendly).
+"""Trace serialization: binary ``.npz`` (preferred), JSONL, and CSV.
 
-The JSONL format stores one metadata header line followed by one record
-per line; round-tripping is exact up to float repr (Python's ``repr`` of a
-float is lossless).  CSV stores only the record table and takes the
-metadata as a sidecar dict embedded in a ``# meta:`` comment line.
+Three formats, by role:
+
+* **Binary** (:func:`write_trace_npz` / :func:`trace_to_npz_bytes`) — one
+  compressed numpy array per trace channel plus a version-stamped JSON
+  header.  Exact float64 round-trip, a fraction of JSONL's size, and
+  loading yields the *columnar* trace form directly (no per-record
+  parsing), which is what the vectorized checker consumes.  This is the
+  run cache's payload format.
+* **JSONL** (:func:`write_trace_jsonl`) — one metadata header line plus
+  one record per line; round-tripping is exact up to float repr (Python's
+  ``repr`` of a float is lossless).  Kept as the human-inspectable
+  interchange format (``zcat``, ``jq``, hand-built fixtures).
+* **CSV** (:func:`write_trace_csv`) — spreadsheet-friendly record table
+  with the metadata in a ``# meta:`` comment line.
 
 Paths ending in ``.gz`` are transparently gzip-compressed on the JSONL
-path, and :func:`trace_to_jsonl_bytes` / :func:`trace_from_jsonl_bytes`
-provide the same format as an in-memory payload — the persistent run
-cache (:mod:`repro.experiments.cache`) round-trips traces through these
-without touching temporary files.
+path; :func:`read_trace_auto` / :func:`trace_from_bytes` sniff the format
+(zip magic = binary, gzip magic = compressed JSONL, else plain JSONL).
 
 Error handling contract: structurally broken input (missing header,
-corrupt record in the middle of a file, wrong CSV columns) raises
+corrupt record in the middle of a file, wrong CSV columns, a binary
+payload with a missing channel or an unknown format version) raises
 :class:`TraceIOError` — a :class:`ValueError` subclass carrying the file
-label and line number.  A file cut off mid-write (truncated gzip stream,
+label.  A JSONL stream cut off mid-write (truncated gzip stream,
 incomplete final line — what a killed worker or full disk leaves behind)
 instead returns the parseable prefix and emits a
 :class:`TraceTruncationWarning`, because the prefix is still a valid
-trace and losing the tail is recoverable.
+trace and losing the tail is recoverable.  A truncated *binary* payload
+is always a hard :class:`TraceIOError`: npz members are compressed
+whole, so there is no meaningful prefix to salvage.
 """
 
 from __future__ import annotations
@@ -28,22 +39,40 @@ import gzip
 import io
 import json
 import warnings
+import zipfile
+import zlib
 from pathlib import Path
+
+import numpy as np
 
 from repro.trace.schema import Trace, TraceMeta, TraceRecord
 
 __all__ = [
     "TraceIOError",
     "TraceTruncationWarning",
+    "TRACE_NPZ_VERSION",
     "write_trace_jsonl",
     "read_trace_jsonl",
     "write_trace_csv",
     "read_trace_csv",
+    "write_trace_npz",
+    "read_trace_npz",
+    "read_trace_auto",
     "trace_to_jsonl_bytes",
     "trace_from_jsonl_bytes",
+    "trace_to_npz_bytes",
+    "trace_from_npz_bytes",
+    "trace_from_bytes",
 ]
 
 _GZIP_MAGIC = b"\x1f\x8b"
+_ZIP_MAGIC = b"PK\x03\x04"
+
+TRACE_NPZ_VERSION = 1
+"""Binary trace format version; readers reject anything else."""
+
+_NPZ_FORMAT_NAME = "adassure-trace"
+_NPZ_COLUMN_PREFIX = "col_"
 
 
 class TraceIOError(ValueError):
@@ -191,6 +220,141 @@ def trace_from_jsonl_bytes(data: bytes) -> Trace:
         return _read_jsonl_stream(stream, "<trace bytes>")
     return _read_jsonl_stream(io.StringIO(data.decode("utf-8")),
                               "<trace bytes>")
+
+
+# ---------------------------------------------------------------------------
+# Binary (.npz) format
+# ---------------------------------------------------------------------------
+
+# Everything np.load / zipfile / zlib / json can throw at a damaged or
+# truncated npz payload; all of it maps to TraceIOError (binary payloads
+# have no salvageable prefix, unlike JSONL).
+_NPZ_READ_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    ValueError,
+    KeyError,
+    OSError,
+    EOFError,
+)
+
+
+def trace_to_npz_bytes(trace: Trace) -> bytes:
+    """Serialize a trace to the binary format as an in-memory payload.
+
+    One compressed array per channel (exact float64 round-trip) plus a
+    ``header`` member carrying the format name, the format version and
+    the trace metadata.  npz members are deflate-compressed, so the
+    payload needs no further compression.
+    """
+    cols = trace.columns()
+    header = json.dumps({
+        "format": _NPZ_FORMAT_NAME,
+        "version": TRACE_NPZ_VERSION,
+        "n": len(trace),
+        "meta": trace.meta.to_dict(),
+    })
+    arrays = {_NPZ_COLUMN_PREFIX + name: cols.get(name)
+              for name in Trace.field_names}
+    buf = io.BytesIO()
+    np.savez_compressed(buf, header=np.asarray(header), **arrays)
+    return buf.getvalue()
+
+
+def trace_from_npz_bytes(data: bytes) -> Trace:
+    """Inverse of :func:`trace_to_npz_bytes`.
+
+    Raises :class:`TraceIOError` on anything that is not a complete,
+    current-version binary trace: truncated or corrupt zip structure,
+    a foreign npz file, a version mismatch, or missing channels.
+    """
+    label = "<trace bytes>"
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            if "header" not in npz.files:
+                raise TraceIOError(f"{label}: not a trace npz (no header)")
+            try:
+                header = json.loads(str(npz["header"][()]))
+            except json.JSONDecodeError as exc:
+                raise TraceIOError(f"{label}: bad npz header: {exc}") from exc
+            if (not isinstance(header, dict)
+                    or header.get("format") != _NPZ_FORMAT_NAME):
+                raise TraceIOError(f"{label}: not an adassure trace npz")
+            version = header.get("version")
+            if version != TRACE_NPZ_VERSION:
+                raise TraceIOError(
+                    f"{label}: unsupported trace format version {version!r} "
+                    f"(this build reads version {TRACE_NPZ_VERSION})")
+            arrays = {}
+            for name in Trace.field_names:
+                member = _NPZ_COLUMN_PREFIX + name
+                if member not in npz.files:
+                    raise TraceIOError(f"{label}: missing channel {name!r}")
+                arrays[name] = npz[member]
+    except TraceIOError:
+        raise
+    except _NPZ_READ_ERRORS as exc:
+        raise TraceIOError(
+            f"{label}: unreadable binary trace: {exc}") from exc
+    meta = TraceMeta.from_dict(header.get("meta", {}))
+    try:
+        trace = Trace.from_columns(meta, arrays)
+    except ValueError as exc:
+        raise TraceIOError(f"{label}: {exc}") from exc
+    expected = header.get("n")
+    if expected is not None and expected != len(trace):
+        raise TraceIOError(
+            f"{label}: header claims {expected} records, payload has "
+            f"{len(trace)}")
+    return trace
+
+
+def write_trace_npz(trace: Trace, path: str | Path) -> None:
+    """Write a trace in the binary format (conventional suffix ``.npz``)."""
+    Path(path).write_bytes(trace_to_npz_bytes(trace))
+
+
+def read_trace_npz(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_npz`."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise TraceIOError(f"{path}: unreadable trace file: {exc}") from exc
+    try:
+        return trace_from_npz_bytes(data)
+    except TraceIOError as exc:
+        raise TraceIOError(str(exc).replace("<trace bytes>",
+                                            str(path), 1)) from exc
+
+
+def trace_from_bytes(data: bytes) -> Trace:
+    """Deserialize a trace payload of any supported format.
+
+    Sniffs the leading magic: zip (binary npz), gzip (compressed JSONL),
+    else plain-text JSONL.  The run cache reads entries through this, so
+    caches written by older (JSONL) builds still load.
+    """
+    if data[:4] == _ZIP_MAGIC:
+        return trace_from_npz_bytes(data)
+    return trace_from_jsonl_bytes(data)
+
+
+def read_trace_auto(path: str | Path) -> Trace:
+    """Read a trace file of any supported format (sniffed, not by suffix)."""
+    path = Path(path)
+    try:
+        with path.open("rb") as f:
+            head = f.read(4)
+    except OSError as exc:
+        raise TraceIOError(f"{path}: unreadable trace file: {exc}") from exc
+    if head == _ZIP_MAGIC:
+        return read_trace_npz(path)
+    if head[:2] == _GZIP_MAGIC and path.suffix != ".gz":
+        # gzip'd JSONL under a non-.gz name: the suffix dispatch in
+        # read_trace_jsonl would misread it as plain text.
+        return trace_from_jsonl_bytes(path.read_bytes())
+    return read_trace_jsonl(path)
 
 
 def write_trace_csv(trace: Trace, path: str | Path) -> None:

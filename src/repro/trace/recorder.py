@@ -13,6 +13,11 @@ class TraceRecorder:
     The recorder also implements the zero-order hold for sensor channels:
     callers pass only *fresh* readings and the recorder carries the last
     value forward, setting the ``*_fresh`` flags accordingly.
+
+    Appending is row-oriented on purpose — the engine produces one record
+    per control step — and invalidates the trace's cached columnar view;
+    analysis code should grab ``trace.columns()`` only after the run
+    finishes, when the view is built once and stays cached.
     """
 
     def __init__(self, meta: TraceMeta):

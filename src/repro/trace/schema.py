@@ -13,6 +13,14 @@ Channel naming convention:
 
 Sensor channels hold the *latest* reading (zero-order hold) plus a
 ``*_fresh`` flag marking steps where a new reading arrived.
+
+Storage model: a trace can hold its data as a list of records (the
+recorder's natural output), as a set of per-channel numpy arrays (the
+columnar form the vectorized checker and the binary ``.npz`` format use),
+or both.  :meth:`Trace.columns` materializes the struct-of-arrays view on
+demand and caches it (invalidated by :meth:`Trace.append`);
+:meth:`Trace.from_columns` builds a trace directly from arrays and only
+materializes the per-record view if someone actually iterates it.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["TraceRecord", "TraceMeta", "Trace"]
+__all__ = ["TraceRecord", "TraceMeta", "Trace", "TraceColumns"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,6 +128,56 @@ _INT_CHANNELS = frozenset(
     f.name for f in fields(TraceRecord) if f.type in ("int", int))
 
 
+def _channel_dtype(name: str):
+    if name in _STRING_CHANNELS:
+        return np.str_
+    if name in _BOOL_CHANNELS:
+        return np.bool_
+    if name in _INT_CHANNELS:
+        return np.int64
+    return np.float64
+
+
+class TraceColumns:
+    """Read-only struct-of-arrays view of a trace.
+
+    One contiguous numpy array per :class:`TraceRecord` field, accessible
+    as attributes (``cols.t``, ``cols.cte_true``, ...) or via :meth:`get`.
+    Float channels are ``float64``, flags ``bool``, counters ``int64``,
+    labels unicode.  Arrays are marked non-writeable: the view is shared
+    between the owning :class:`Trace`, the vectorized checker and the
+    binary serializer, so mutating it would corrupt all three.
+    """
+
+    __slots__ = ("_arrays", "n")
+
+    def __init__(self, arrays: dict):
+        lengths = {a.shape[0] for a in arrays.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged trace columns: lengths {sorted(lengths)}")
+        self._arrays = arrays
+        self.n = lengths.pop() if lengths else 0
+
+    def get(self, name: str) -> np.ndarray:
+        if name not in self._arrays:
+            raise KeyError(f"unknown trace channel {name!r}")
+        return self._arrays[name]
+
+    def __getattr__(self, name: str) -> np.ndarray:
+        if name.startswith("_"):  # unpickling probes before slots are set
+            raise AttributeError(name)
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __repr__(self) -> str:
+        return f"TraceColumns(n={self.n}, channels={len(self._arrays)})"
+
+
 @dataclass(slots=True)
 class TraceMeta:
     """Run-level metadata attached to a trace."""
@@ -172,73 +230,156 @@ class Trace:
     def __init__(self, meta: TraceMeta | None = None,
                  records: Sequence[TraceRecord] | None = None):
         self.meta = meta or TraceMeta()
-        self._records: list[TraceRecord] = list(records) if records else []
+        self._records: list[TraceRecord] | None = (
+            list(records) if records else [])
+        self._columns: TraceColumns | None = None
+
+    @classmethod
+    def from_columns(cls, meta: TraceMeta | None, arrays: dict) -> "Trace":
+        """Build a trace directly from per-channel arrays.
+
+        ``arrays`` must map every :attr:`field_names` entry to a 1-D
+        array-like of equal length; dtypes are coerced to the schema's
+        (float64 / bool / int64 / unicode).  The per-record view is *not*
+        built here — it materializes lazily on first record access, so a
+        caller that only needs columnar analysis (the vectorized checker,
+        the metrics layer) never pays for 40+ dataclass fields per step.
+        """
+        missing = [n for n in _FIELD_NAMES if n not in arrays]
+        if missing:
+            raise ValueError(f"trace columns missing channels: {missing}")
+        coerced = {}
+        for name in _FIELD_NAMES:
+            arr = np.asarray(arrays[name], dtype=_channel_dtype(name))
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"trace column {name!r} must be 1-D, got shape {arr.shape}")
+            if arr.flags.writeable:
+                arr = arr.copy() if arr is arrays[name] else arr
+                arr.flags.writeable = False
+            coerced[name] = arr
+        trace = cls(meta)
+        trace._records = None
+        trace._columns = TraceColumns(coerced)
+        return trace
+
+    # --- storage management ---------------------------------------------
+    def _materialized(self) -> list[TraceRecord]:
+        """The per-record view, built from the columns on first demand."""
+        if self._records is None:
+            cols = self._columns
+            # .tolist() converts numpy scalars to exact Python
+            # floats/bools/ints/strs, so materialized records compare
+            # equal to the originals field for field.
+            raw = [cols.get(name).tolist() for name in _FIELD_NAMES]
+            self._records = [TraceRecord(*values) for values in zip(*raw)]
+        return self._records
 
     # --- container protocol -------------------------------------------
     def append(self, record: TraceRecord) -> None:
-        if self._records and record.step <= self._records[-1].step:
+        records = self._materialized()
+        if records and record.step <= records[-1].step:
             raise ValueError(
                 f"records must have strictly increasing steps "
-                f"(got {record.step} after {self._records[-1].step})"
+                f"(got {record.step} after {records[-1].step})"
             )
-        self._records.append(record)
+        records.append(record)
+        self._columns = None  # cached columnar view is now stale
 
     def __len__(self) -> int:
-        return len(self._records)
+        if self._records is not None:
+            return len(self._records)
+        return self._columns.n
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self._materialized())
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(self.meta, self._records[index])
-        return self._records[index]
+            return Trace(self.meta, self._materialized()[index])
+        return self._materialized()[index]
 
     @property
     def records(self) -> Sequence[TraceRecord]:
-        return tuple(self._records)
+        return tuple(self._materialized())
 
     @property
     def duration(self) -> float:
         """Time span covered by the trace, seconds."""
-        if len(self._records) < 2:
+        if len(self) < 2:
             return 0.0
-        return self._records[-1].t - self._records[0].t
+        if self._records is not None:
+            return self._records[-1].t - self._records[0].t
+        t = self._columns.get("t")
+        return float(t[-1] - t[0])
 
     @property
     def dt(self) -> float:
         return self.meta.dt
 
     # --- column access --------------------------------------------------
+    def columns(self) -> TraceColumns:
+        """The cached struct-of-arrays view (built on first use).
+
+        Invalidated by :meth:`append`; the returned arrays are
+        non-writeable and shared, so treat them as immutable.
+        """
+        if self._columns is None:
+            records = self._records
+            arrays = {}
+            for name in _FIELD_NAMES:
+                arr = np.array([getattr(r, name) for r in records],
+                               dtype=_channel_dtype(name))
+                arr.flags.writeable = False
+                arrays[name] = arr
+            self._columns = TraceColumns(arrays)
+        return self._columns
+
     def column(self, name: str) -> np.ndarray:
-        """The named channel as a float numpy array (bools become 0/1)."""
+        """The named channel as a float numpy array (bools become 0/1).
+
+        Served from the cached columnar view; float channels come back as
+        the shared non-writeable array, other numeric channels as a float
+        copy.
+        """
         if name not in _FIELD_NAMES:
             raise KeyError(f"unknown trace channel {name!r}")
         if name in _STRING_CHANNELS:
             raise TypeError(f"channel {name!r} is not numeric; iterate records")
-        return np.array([getattr(r, name) for r in self._records], dtype=float)
+        arr = self.columns().get(name)
+        if arr.dtype == np.float64:
+            return arr
+        out = arr.astype(float)
+        out.flags.writeable = False
+        return out
 
     def times(self) -> np.ndarray:
         return self.column("t")
 
     def window(self, t_start: float, t_end: float) -> "Trace":
         """Sub-trace with ``t_start <= t < t_end``."""
-        recs = [r for r in self._records if t_start <= r.t < t_end]
+        recs = [r for r in self._materialized() if t_start <= r.t < t_end]
         return Trace(self.meta, recs)
+
+    def _onset(self, channel: str) -> float | None:
+        if self._records is None:
+            cols = self.columns()
+            hits = np.flatnonzero(cols.get(channel))
+            if hits.size == 0:
+                return None
+            return float(cols.get("t")[hits[0]])
+        for r in self._records:
+            if getattr(r, channel):
+                return r.t
+        return None
 
     def attack_onset(self) -> float | None:
         """Time of the first step with an active attack, or ``None``."""
-        for r in self._records:
-            if r.attack_active:
-                return r.t
-        return None
+        return self._onset("attack_active")
 
     def fault_onset(self) -> float | None:
         """Time of the first step with an active benign fault, or ``None``."""
-        for r in self._records:
-            if r.fault_active:
-                return r.t
-        return None
+        return self._onset("fault_active")
 
     def __repr__(self) -> str:
         return (

@@ -5,7 +5,6 @@ unpicklable payloads and concurrent writers may cost a re-simulation but
 must never crash a campaign or serve a corrupt entry.
 """
 
-import gzip
 import threading
 
 import pytest
@@ -39,8 +38,8 @@ class TestTornEntries:
         trace_path = cache._trace_path(key)
         data = trace_path.read_bytes()
         trace_path.write_bytes(data[: len(data) // 2])
-        # A gzip cut mid-stream loses records; the entry would come back
-        # shorter than it was stored, so load must reject + evict it.
+        # A binary payload cut mid-stream cannot be read back; load must
+        # reject + evict it rather than serve a shortened trace.
         assert cache.load(key) is None
         assert cache.counters.errors == 1
         assert not trace_path.exists()

@@ -1,7 +1,5 @@
 """Tests for the persistent on-disk run cache and the bounded memo."""
 
-import gzip
-
 import pytest
 
 from repro.cli import main
@@ -91,17 +89,19 @@ class TestDiskRoundTrip:
         assert STATS.last.executed == 1
 
     def test_corrupt_trace_silently_reruns(self, fresh_cache):
+        from repro.trace.io import trace_from_bytes
+
         run_grid(**POINT)
-        traces = list(fresh_cache.rglob("*.trace.jsonl.gz"))
+        traces = list(fresh_cache.rglob("*.trace.npz"))
         assert traces, "cache wrote no trace payloads"
-        traces[0].write_bytes(b"this is not gzip")
+        traces[0].write_bytes(b"this is not a trace payload")
         clear_cache()
         runs = run_grid(**POINT)  # must re-simulate, not raise
         assert len(runs) == 1
         assert STATS.last.executed == 1
         assert STATS.last.disk_errors >= 1
-        # The corrupt entry was evicted and rewritten.
-        assert gzip.decompress(traces[0].read_bytes())
+        # The corrupt entry was evicted and rewritten as a valid trace.
+        assert len(trace_from_bytes(traces[0].read_bytes())) > 0
 
     def test_corrupt_pickle_silently_reruns(self, fresh_cache):
         run_grid(**POINT)
