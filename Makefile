@@ -1,6 +1,6 @@
 # Development entry points for the ADAssure reproduction.
 
-.PHONY: install test bench bench-compare bench-runner experiments examples clean
+.PHONY: install test bench bench-compare bench-runner bench-sim experiments examples clean
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation || python setup.py develop
@@ -21,6 +21,11 @@ bench-compare:
 # disk cache / warm memo) and write machine-readable BENCH_runner.json.
 bench-runner:
 	python -m repro.experiments.stats --output BENCH_runner.json
+
+# Benchmark the batched lockstep simulation engine against the serial
+# oracle (64 lanes, bit-identity verified) and write BENCH_sim.json.
+bench-sim:
+	python -m repro.sim.batch --lanes 64 --output BENCH_sim.json
 
 # Regenerate every evaluation table/figure at full size (a few minutes).
 experiments:

@@ -1,0 +1,84 @@
+"""Bench — batched lockstep simulation vs per-run serial stepping.
+
+Times :func:`repro.sim.batch.run_batch` on a small heterogeneous lane set
+and *fails* if any trace column, metric or assertion verdict drifts from
+the serial :class:`~repro.sim.engine.SimulationRunner` — this is the CI
+tripwire for batch-engine equivalence regressions.  Full-size speedup
+numbers (64 lanes, full scenario duration) are produced by
+``python -m repro.sim.batch``, which writes ``BENCH_sim.json``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import standard_attack
+from repro.control.base import make_lateral_controller
+from repro.control.follower import SpeedProfile, WaypointFollower
+from repro.core.checker import check_trace
+from repro.sim.batch import LaneSpec, run_batch
+from repro.sim.engine import SimulationRunner
+from repro.sim.scenario import standard_scenarios
+from repro.trace.schema import Trace
+
+_LANES = [
+    ("pure_pursuit", "none", 1),
+    ("pure_pursuit", "gps_bias", 1),
+    ("stanley", "gps_drift", 7),
+    ("stanley", "none", 7),
+    ("lqr", "steer_offset", 3),
+    ("lqr", "none", 3),
+    ("pure_pursuit", "compass_offset", 9),
+    ("stanley", "odom_scale", 9),
+]
+
+
+def _spec(controller, attack, seed, duration):
+    scenario = standard_scenarios(seed=seed, duration=duration)["s_curve"]
+    return LaneSpec(
+        scenario=scenario,
+        follower=WaypointFollower(
+            make_lateral_controller(controller),
+            profile=SpeedProfile(cruise_speed=scenario.cruise_speed),
+        ),
+        campaign=standard_attack(attack) if attack != "none" else None,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(quick_config):
+    return [
+        SimulationRunner(spec.scenario, spec.follower, spec.campaign).run()
+        for spec in (_spec(c, a, s, quick_config.duration)
+                     for c, a, s in _LANES)
+    ]
+
+
+def test_sim_batch(benchmark, quick_config, serial_results):
+    specs = [_spec(c, a, s, quick_config.duration) for c, a, s in _LANES]
+    batch_results = benchmark.pedantic(lambda: run_batch(specs),
+                                       rounds=1, iterations=1)
+    # Equivalence drift fails the suite — the speedup is worthless if the
+    # two engines stop agreeing.
+    for serial, batch in zip(serial_results, batch_results):
+        sc, bc = serial.trace.columns(), batch.trace.columns()
+        for name in Trace.field_names:
+            a, b = sc.get(name), bc.get(name)
+            if a.dtype.kind == "f":
+                assert np.array_equal(a, b, equal_nan=True), name
+            else:
+                assert np.array_equal(a, b), name
+        assert serial.metrics == batch.metrics
+        assert serial.outcome == batch.outcome
+        serial_report = check_trace(serial.trace)
+        batch_report = check_trace(batch.trace)
+        assert serial_report.summaries == batch_report.summaries
+        assert serial_report.violations == batch_report.violations
+
+
+def test_sim_serial_oracle(benchmark, quick_config):
+    specs = [_spec(c, a, s, quick_config.duration) for c, a, s in _LANES]
+    results = benchmark.pedantic(
+        lambda: [SimulationRunner(sp.scenario, sp.follower, sp.campaign).run()
+                 for sp in specs],
+        rounds=1, iterations=1)
+    assert len(results) == len(_LANES)

@@ -7,7 +7,8 @@ Commands:
   (optionally save the trace).
 * ``check`` — run the assertion catalog over a saved trace file.
 * ``experiment`` — regenerate one or all evaluation tables (e1..e14),
-  optionally in parallel (``--workers``) and with campaign stats
+  optionally in parallel (``--workers``), with the batched lockstep
+  simulation engine (``--sim-engine batch``) and with campaign stats
   (``--stats``).
 * ``cache`` — inspect (``stats``) or wipe (``clear``) the persistent
   on-disk run cache that accelerates repeated campaigns.
@@ -108,6 +109,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig
     from repro.experiments.export import save_tables
     from repro.experiments.stats import STATS
+
+    if args.sim_engine:
+        # run_grid resolves the engine from this env var, so the choice
+        # reaches every experiment (and any pool worker it spawns).
+        os.environ["ADASSURE_SIM"] = args.sim_engine
 
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
     if args.seeds is not None:
@@ -259,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workers", type=int, default=None, metavar="N",
                        help="parallel simulation workers (default: "
                             "$ADASSURE_WORKERS or cpu_count-1; 1 = serial)")
+    p_exp.add_argument("--sim-engine", choices=("serial", "batch"),
+                       default=None,
+                       help="simulation engine for uncached grid points "
+                            "(default: $ADASSURE_SIM or serial; 'batch' "
+                            "steps compatible points in lockstep as NumPy "
+                            "arrays, bit-identical results)")
     p_exp.add_argument("--seeds", metavar="S1,S2,...", default=None,
                        help="override the config's seed list "
                             "(comma-separated integers, non-empty)")

@@ -53,6 +53,12 @@ class LateralController(abc.ABC):
 
     name: str = "lateral"
 
+    supports_batch: bool = False
+    """Whether :mod:`repro.sim.batch` has a vectorized implementation of
+    this controller.  Pure-function trackers (Pure Pursuit, Stanley, LQR)
+    set this; controllers with per-step solver state (MPC) leave it False
+    and run per-lane inside the batch loop instead."""
+
     def reset(self) -> None:
         """Clear internal state before a new run (default: nothing)."""
 

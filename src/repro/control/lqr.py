@@ -42,6 +42,7 @@ class LqrController(LateralController):
     """
 
     name = "lqr"
+    supports_batch = True
 
     _SPEED_QUANTUM = 0.25  # m/s; gain cache resolution
 

@@ -33,6 +33,7 @@ class PurePursuitController(LateralController):
     """
 
     name = "pure_pursuit"
+    supports_batch = True
 
     def __init__(
         self,

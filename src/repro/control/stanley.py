@@ -35,6 +35,7 @@ class StanleyController(LateralController):
     """
 
     name = "stanley"
+    supports_batch = True
 
     def __init__(
         self,

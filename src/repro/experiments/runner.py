@@ -48,6 +48,9 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeou
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.attacks.campaign import standard_attack
+from repro.control.acc import AccController
+from repro.control.base import make_lateral_controller
+from repro.control.follower import SpeedProfile, WaypointFollower
 from repro.core.checker import check_trace
 from repro.core.diagnosis import DiagnosisResult, diagnose
 from repro.core.spec import catalog_fingerprint
@@ -59,6 +62,7 @@ from repro.experiments.cache import (
     cache_key_params,
 )
 from repro.experiments.stats import STATS, GridStats
+from repro.sim.batch import LaneSpec, run_batch
 from repro.sim.engine import RunResult, run_scenario
 from repro.sim.scenario import standard_scenarios
 
@@ -67,12 +71,16 @@ __all__ = [
     "run_grid",
     "run_scored",
     "clear_cache",
+    "resolve_sim_engine",
     "resolve_workers",
     "set_memo_limit",
 ]
 
 DEFAULT_MEMO_LIMIT = 512
 """Default bound on the in-process memo (``ADASSURE_MEMO_LIMIT`` env)."""
+
+DEFAULT_BATCH_LANES = 64
+"""Default lanes per batched simulation group (``ADASSURE_BATCH_LANES``)."""
 
 DEFAULT_POINT_RETRIES = 2
 """Default retry budget per failing point (``ADASSURE_POINT_RETRIES``)."""
@@ -186,6 +194,36 @@ def clear_cache(disk: bool = False) -> None:
             cache.clear()
 
 
+def resolve_sim_engine(engine: str | None = None) -> str:
+    """Effective simulation engine: argument > ``ADASSURE_SIM`` > serial.
+
+    ``"serial"`` steps every grid point through its own
+    :class:`~repro.sim.engine.SimulationRunner`; ``"batch"`` groups
+    compatible points and steps them in lockstep through
+    :func:`repro.sim.batch.run_batch` (bit-identical results, one core).
+    """
+    if engine is None:
+        env = os.environ.get("ADASSURE_SIM", "").strip()
+        engine = env or "serial"
+    engine = engine.strip().lower()
+    if engine not in ("serial", "batch"):
+        raise ValueError(
+            f"unknown simulation engine {engine!r}; "
+            "expected 'serial' or 'batch'")
+    return engine
+
+
+def _batch_lanes() -> int:
+    """Lanes per batch group: ``ADASSURE_BATCH_LANES`` or the default."""
+    env = os.environ.get("ADASSURE_BATCH_LANES")
+    if env:
+        try:
+            return max(int(env), 2)
+        except ValueError:
+            pass
+    return DEFAULT_BATCH_LANES
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Effective worker count: argument > ``ADASSURE_WORKERS`` > cores-1."""
     if workers is None:
@@ -236,6 +274,89 @@ def _execute_point(point: tuple) -> tuple[tuple, GridRun, dict]:
     )
     phases = {"simulate": t1 - t0, "check": t2 - t1, "diagnose": t3 - t2}
     return point, run, phases
+
+
+def _batch_lane_spec(point: tuple) -> LaneSpec:
+    """Build one batch lane exactly the way :func:`_execute_point` would.
+
+    Mirrors the follower construction of
+    :func:`~repro.sim.engine.run_scenario` (unsupervised, scenario cruise
+    profile, ACC iff the scenario has a lead) so the batched lane is
+    bit-identical to the serial grid point.
+    """
+    scenario_name, controller, attack, intensity, seed, onset, duration = point
+    scenario = standard_scenarios(seed=seed, duration=duration)[scenario_name]
+    campaign = (
+        standard_attack(attack, intensity=intensity, onset=onset)
+        if attack != "none"
+        else standard_attack("none")
+    )
+    follower = WaypointFollower(
+        make_lateral_controller(controller),
+        profile=SpeedProfile(cruise_speed=scenario.cruise_speed),
+        acc=AccController() if scenario.lead is not None else None,
+    )
+    return LaneSpec(scenario=scenario, follower=follower, campaign=campaign)
+
+
+def _execute_batch(points: list[tuple], merge) -> None:
+    """Simulate a compatible group in lockstep, then score each lane.
+
+    The batched simulation produces all lanes at once, so its wall time
+    is attributed evenly across the group's points; check/diagnose stay
+    per-point.  Raises (e.g. :class:`~repro.sim.batch.BatchCompatError`)
+    bubble to the caller, which falls back to the serial/pool path.
+    """
+    specs = [_batch_lane_spec(point) for point in points]
+    t0 = time.perf_counter()
+    results = run_batch(specs)
+    sim_share = (time.perf_counter() - t0) / len(points)
+    for point, result in zip(points, results):
+        t1 = time.perf_counter()
+        report = check_trace(result.trace)
+        t2 = time.perf_counter()
+        diagnosis = diagnose(report)
+        t3 = time.perf_counter()
+        run = GridRun(
+            scenario=point[0], controller=point[1], attack=point[2],
+            intensity=point[3], seed=point[4],
+            result=result, report=report, diagnosis=diagnosis,
+        )
+        merge(point, run,
+              {"simulate": sim_share, "check": t2 - t1, "diagnose": t3 - t2})
+
+
+def _run_batched(points: list[tuple], merge, stats) -> list[tuple]:
+    """Group pending points and step each group as one batched simulation.
+
+    Points are grouped by ``(scenario, duration)`` — the compatibility
+    key the batch engine requires (same route family, dt, step count and
+    lead configuration) — and capped at :func:`_batch_lanes` lanes per
+    group.  Any group that fails (incompatible lanes, a mid-run
+    divergence the vectorized path cannot express, a plain bug) falls
+    back whole to the serial/pool path; the returned list is whatever
+    still needs the classic executor.
+    """
+    groups: dict[tuple, list[tuple]] = {}
+    for point in points:
+        groups.setdefault((point[0], point[6]), []).append(point)
+    cap = _batch_lanes()
+    leftover: list[tuple] = []
+    for group in groups.values():
+        for i in range(0, len(group), cap):
+            chunk = group[i:i + cap]
+            if len(chunk) < 2:
+                leftover.extend(chunk)
+                continue
+            try:
+                _execute_batch(chunk, merge)
+            except Exception:
+                stats.batch_fallbacks += 1
+                leftover.extend(chunk)
+            else:
+                stats.batch_groups += 1
+                stats.batch_points += len(chunk)
+    return leftover
 
 
 def _chunk_size(n_points: int, n_workers: int) -> int:
@@ -437,6 +558,7 @@ def run_grid(
     workers: int | None = None,
     point_timeout: float | None = None,
     retries: int | None = None,
+    sim_engine: str | None = None,
 ) -> list[GridRun]:
     """Run (and score) the full cartesian grid.
 
@@ -446,6 +568,12 @@ def run_grid(
     memo first, then from the persistent disk cache; freshly executed
     points are merged back into both layers *as they complete* (the
     incremental checkpoint an interrupted campaign resumes from).
+
+    With ``sim_engine="batch"`` (or ``ADASSURE_SIM=batch``), compatible
+    uncached points are grouped and stepped in lockstep through the
+    array-native batch engine (:mod:`repro.sim.batch`) before anything
+    reaches the pool; results are bit-identical to the serial engine, and
+    any group the batch engine rejects falls back to the classic path.
 
     Execution is crash-tolerant: slow points are re-run serially after
     ``point_timeout`` seconds, a collapsed worker pool degrades to serial
@@ -519,12 +647,27 @@ def run_grid(
         if manifest is not None:
             manifest.complete(point)
 
-    # Execute the misses: serially, or fanned out over a crash-tolerant
-    # process pool.  Pool leftovers (timed-out points, collapse
-    # survivors, first-failure points) fall back to the serial path,
-    # which owns retries and quarantine.
+    # Execute the misses.  The batch engine (when selected) consumes
+    # whole compatible groups first; whatever it leaves — singleton
+    # groups, fallback groups — goes to the classic executor: serially,
+    # or fanned out over a crash-tolerant process pool.  Pool leftovers
+    # (timed-out points, collapse survivors, first-failure points) fall
+    # back to the serial path, which owns retries and quarantine.
+    stats.sim_engine = resolve_sim_engine(sim_engine)
+    if stats.sim_engine == "batch" and len(pending) > 1:
+        pending = _run_batched(pending, merge, stats)
+
     n_workers = resolve_workers(workers)
     use_pool = n_workers > 1 and len(pending) > 1
+    if use_pool and workers is None and (os.cpu_count() or 1) < 2:
+        # Measured: on a single exposed core the pool's pickle/dispatch
+        # overhead makes it *slower* than serial (~0.87x).  When the
+        # count came from the environment rather than an explicit
+        # argument, auto-select the serial path and record why.
+        use_pool = False
+        stats.pool_policy = "serial-single-core"
+    else:
+        stats.pool_policy = "pool" if use_pool else "serial"
     stats.workers = min(n_workers, len(pending)) if use_pool else 1
     serial_items = [(point, 0) for point in pending]
     if use_pool:

@@ -54,6 +54,16 @@ class GridStats:
     workers: int = 1
     chunk_size: int = 1
     """Points batched per pool task (1 = unchunked / serial)."""
+    sim_engine: str = "serial"
+    """Simulation engine the uncached points went through."""
+    batch_groups: int = 0
+    """Compatible groups stepped in lockstep by the batch engine."""
+    batch_points: int = 0
+    """Points simulated inside those batched groups."""
+    batch_fallbacks: int = 0
+    """Groups the batch engine rejected back to the serial/pool path."""
+    pool_policy: str = "serial"
+    """How the classic executor ran: pool, serial, serial-single-core."""
     wall_time: float = 0.0
     phase_time: dict = field(default_factory=lambda: dict.fromkeys(PHASES, 0.0))
     """Per-phase busy seconds, summed over workers."""
@@ -87,6 +97,13 @@ class GridStats:
         self.quarantined.extend(other.quarantined)
         self.workers = max(self.workers, other.workers)
         self.chunk_size = max(self.chunk_size, other.chunk_size)
+        if other.sim_engine != "serial":
+            self.sim_engine = other.sim_engine
+        self.batch_groups += other.batch_groups
+        self.batch_points += other.batch_points
+        self.batch_fallbacks += other.batch_fallbacks
+        if other.pool_policy != "serial":
+            self.pool_policy = other.pool_policy
         self.wall_time += other.wall_time
         for phase in PHASES:
             self.phase_time[phase] += other.phase_time.get(phase, 0.0)
@@ -108,6 +125,11 @@ class GridStats:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "workers": self.workers,
             "chunk_size": self.chunk_size,
+            "sim_engine": self.sim_engine,
+            "batch_groups": self.batch_groups,
+            "batch_points": self.batch_points,
+            "batch_fallbacks": self.batch_fallbacks,
+            "pool_policy": self.pool_policy,
             "wall_time_s": round(self.wall_time, 4),
             "busy_time_s": round(self.busy_time, 4),
             "worker_utilization": round(self.worker_utilization, 4),
@@ -125,11 +147,19 @@ class GridStats:
             f"workers     : {self.workers}  "
             f"(chunk {self.chunk_size})  "
             f"utilization {100.0 * self.worker_utilization:.1f}%",
+            f"engine      : {self.sim_engine}  "
+            f"(pool policy {self.pool_policy})",
             f"wall time   : {self.wall_time:.2f}s  "
             f"(busy {self.busy_time:.2f}s)",
         ]
         for phase in PHASES:
             lines.append(f"  {phase:<9}: {self.phase_time[phase]:.2f}s")
+        if self.batch_groups or self.batch_fallbacks:
+            lines.append(
+                f"batched     : {self.batch_points} point(s) in "
+                f"{self.batch_groups} group(s), "
+                f"{self.batch_fallbacks} fallback(s)"
+            )
         if self.retries or self.timeouts or self.pool_failures:
             lines.append(
                 f"recovered   : {self.retries} retrie(s), "

@@ -171,7 +171,12 @@ class Polyline:
             t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
             t = min(max(t, 0.0), 1.0)
             cx, cy = ax + t * dx, ay + t * dy
-            dist_sq = (px - cx) ** 2 + (py - cy) ** 2
+            # Products, not ``** 2``: CPython's float.__pow__ and numpy's
+            # square differ in the last ulp for some inputs, and the batch
+            # engine (repro.sim.batch) must reproduce this distance
+            # bit-for-bit to pick the same segment.
+            ex, ey = px - cx, py - cy
+            dist_sq = ex * ex + ey * ey
             if best is None or dist_sq < best[0]:
                 best = (dist_sq, idx, t)
         assert best is not None

@@ -25,8 +25,12 @@ from repro.sim.scenario import (
     standard_scenarios,
 )
 from repro.sim.vehicle import Vehicle
+from repro.sim.batch import BatchCompatError, LaneSpec, run_batch
 
 __all__ = [
+    "BatchCompatError",
+    "LaneSpec",
+    "run_batch",
     "VehicleParams",
     "VehicleState",
     "KinematicBicycleModel",

@@ -1,0 +1,11 @@
+"""Batched array-native simulation: step a whole grid as NumPy arrays.
+
+The package mirrors the serial :class:`~repro.sim.engine.SimulationRunner`
+bit-for-bit (the serial engine is the differential oracle — see
+``docs/methodology.md``) while stepping N compatible runs in lockstep as
+struct-of-arrays state.  Entry point: :func:`run_batch`.
+"""
+
+from repro.sim.batch.engine import BatchCompatError, LaneSpec, run_batch
+
+__all__ = ["BatchCompatError", "LaneSpec", "run_batch"]

@@ -1,0 +1,144 @@
+"""Benchmark — batched lockstep engine vs the serial oracle.
+
+``python -m repro.sim.batch`` simulates the same lane set twice (once
+through per-lane :class:`~repro.sim.engine.SimulationRunner` instances,
+once through :func:`~repro.sim.batch.run_batch`), verifies the traces are
+bit-identical, and writes the measured speedup to ``BENCH_sim.json``.
+The quick CI tripwire lives in ``benchmarks/bench_sim_batch.py``; this
+module produces the full-size numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks.campaign import standard_attack
+from repro.control.acc import AccController
+from repro.control.base import make_lateral_controller
+from repro.control.follower import SpeedProfile, WaypointFollower
+from repro.sim.batch import LaneSpec, run_batch
+from repro.sim.engine import SimulationRunner
+from repro.sim.scenario import standard_scenarios
+from repro.trace.schema import Trace
+
+_CONTROLLERS = ("pure_pursuit", "stanley", "lqr")
+_ATTACKS = ("none", "gps_bias", "gps_drift", "steer_offset")
+
+
+def _lane_specs(lanes: int, scenario_name: str,
+                duration: float | None) -> list[LaneSpec]:
+    """A representative vectorizable lane mix: controllers x attacks x seeds."""
+    specs = []
+    for i in range(lanes):
+        scenario = standard_scenarios(
+            seed=i % 8, duration=duration)[scenario_name]
+        attack = _ATTACKS[i % len(_ATTACKS)]
+        campaign = standard_attack(attack) if attack != "none" else None
+        follower = WaypointFollower(
+            make_lateral_controller(_CONTROLLERS[i % len(_CONTROLLERS)]),
+            profile=SpeedProfile(cruise_speed=scenario.cruise_speed),
+            acc=AccController() if scenario.lead is not None else None,
+        )
+        specs.append(LaneSpec(scenario=scenario, follower=follower,
+                              campaign=campaign))
+    return specs
+
+
+def _assert_identical(serial: Trace, batch: Trace) -> None:
+    for name in Trace.field_names:
+        a = serial.columns().get(name)
+        b = batch.columns().get(name)
+        if a.dtype.kind == "f":
+            ok = np.array_equal(a, b, equal_nan=True)
+        else:
+            ok = np.array_equal(a, b)
+        if not ok:
+            raise AssertionError(
+                f"batch/serial divergence in column {name!r} — the "
+                "speedup below would be meaningless")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.batch",
+        description=__doc__,
+    )
+    parser.add_argument("--lanes", type=int, default=64,
+                        help="grid points to simulate (default 64)")
+    parser.add_argument("--scenario", default="s_curve")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the scenario duration, seconds")
+    parser.add_argument("--output", default="BENCH_sim.json")
+    args = parser.parse_args(argv)
+
+    import gc
+
+    specs = _lane_specs(args.lanes, args.scenario, args.duration)
+    n_steps = len(np.arange(0.0, specs[0].scenario.duration,
+                            specs[0].scenario.dt))
+
+    # Batch first: the serial pass materializes tens of thousands of
+    # per-record objects, and timing the batch engine on top of that heap
+    # would charge it the garbage collector's rent.
+    print(f"batch : run_batch({args.lanes} lanes) ...")
+    gc.collect()
+    t0 = time.perf_counter()
+    batch_results = run_batch(specs)
+    batch_s = time.perf_counter() - t0
+    print(f"  {batch_s:.2f}s")
+
+    print(f"serial: {args.lanes} x SimulationRunner ...")
+    gc.collect()
+    t0 = time.perf_counter()
+    serial_results = [
+        SimulationRunner(s.scenario, s.follower, s.campaign,
+                         s.ekf_config, faults=s.faults).run()
+        for s in _lane_specs(args.lanes, args.scenario, args.duration)
+    ]
+    serial_s = time.perf_counter() - t0
+    print(f"  {serial_s:.2f}s")
+
+    for s, b in zip(serial_results, batch_results):
+        _assert_identical(s.trace, b.trace)
+    print("bit-identical: every trace column equal")
+
+    speedup = serial_s / batch_s
+    payload = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "lanes": args.lanes,
+            "scenario": args.scenario,
+            "duration_s": specs[0].scenario.duration,
+            "dt": specs[0].scenario.dt,
+            "steps_per_lane": n_steps,
+            "controllers": list(_CONTROLLERS),
+            "attacks": list(_ATTACKS),
+        },
+        "timings_s": {
+            "serial": round(serial_s, 4),
+            "batch": round(batch_s, 4),
+            "serial_per_lane_ms": round(1e3 * serial_s / args.lanes, 2),
+            "batch_per_lane_ms": round(1e3 * batch_s / args.lanes, 2),
+        },
+        "speedup_batch_vs_serial": round(speedup, 2),
+        "bit_identical": True,
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"speedup: {speedup:.1f}x  ->  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

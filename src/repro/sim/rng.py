@@ -44,6 +44,21 @@ class RngStreams:
             self._streams[name] = np.random.default_rng(seq)
         return self._streams[name]
 
+    @staticmethod
+    def per_lane(seeds: "list[int] | tuple[int, ...]") -> tuple["RngStreams", ...]:
+        """One independent stream family per batch lane.
+
+        The batched engine (:mod:`repro.sim.batch`) steps many runs at
+        once; lane ``i`` must draw *exactly* the stream it would draw in a
+        serial :class:`~repro.sim.engine.SimulationRunner` seeded with
+        ``seeds[i]``.  Because streams are derived from ``(seed, name)``
+        only — never from draw order across components — giving each lane
+        its own :class:`RngStreams` rooted at its own seed reproduces the
+        serial sequences bit for bit (asserted in
+        ``tests/test_sim_rng.py``).
+        """
+        return tuple(RngStreams(int(seed)) for seed in seeds)
+
     def child(self, label: str, index: int) -> "RngStreams":
         """A derived stream family (e.g. one per Monte-Carlo repetition)."""
         digest = hashlib.sha256(f"{label}:{index}".encode("utf-8")).digest()

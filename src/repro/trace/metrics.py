@@ -66,30 +66,39 @@ _GOAL_RADIUS_M = 3.0
 def compute_metrics(trace: Trace) -> TraceMetrics:
     """Compute the scalar summary for a finished run.
 
+    Operates on the cached struct-of-arrays view
+    (:meth:`~repro.trace.schema.Trace.columns`): every statistic is one
+    numpy reduction over a shared column, and the launch-transient window
+    is a slice of the (sorted) time axis instead of a boolean-mask copy.
+
     Raises:
         ValueError: for an empty trace (no behaviour to score).
     """
     if len(trace) == 0:
         raise ValueError("cannot compute metrics for an empty trace")
 
-    t = trace.times()
-    cte = trace.column("cte_true")
-    heading_err = trace.column("heading_err_true")
-    lat_accel = trace.column("true_lat_accel")
-    v = trace.column("true_v")
-    target_v = trace.column("target_speed")
-    steer_cmd = trace.column("steer_cmd")
-    station = trace.column("station_true")
-    dist_to_goal = trace.column("dist_to_goal")
+    cols = trace.columns()
+    t = cols.t
+    cte = cols.cte_true
+    heading_err = cols.heading_err_true
+    lat_accel = cols.true_lat_accel
+    v = cols.true_v
+    target_v = cols.target_speed
+    steer_cmd = cols.steer_cmd
+    station = cols.station_true
+    dist_to_goal = cols.dist_to_goal
 
     # Distance travelled from the speed profile (robust to closed routes
     # where the station wraps).
     dt = trace.dt
     distance = float(np.sum(v) * dt)
 
-    after_launch = t >= (t[0] + _LAUNCH_TRANSIENT_S)
-    if after_launch.any():
-        speed_rmse = rms((v - target_v)[after_launch])
+    # t is strictly increasing, so the first post-transient sample is a
+    # binary search and the window a contiguous slice.
+    launch_end = int(np.searchsorted(t, t[0] + _LAUNCH_TRANSIENT_S,
+                                     side="left"))
+    if launch_end < t.size:
+        speed_rmse = rms(v[launch_end:] - target_v[launch_end:])
     else:
         speed_rmse = rms(v - target_v)
 

@@ -57,3 +57,36 @@ class TestRngStreams:
         rngs.stream("b")
         rngs.stream("a")
         assert "a" in repr(rngs) and "b" in repr(rngs)
+
+
+class TestPerLane:
+    """Regression: the batched engine's lane streams replay the serial ones."""
+
+    def test_lane_matches_solo_streams(self):
+        # Lane i of a batch must draw bit-for-bit what a serial runner
+        # seeded with seeds[i] would draw, for every named stream, even
+        # when lanes consume interleaved (the batch engine's tape
+        # builder reads all lanes' sensor streams up front).
+        seeds = (3, 11, 11, 42)
+        lanes = RngStreams.per_lane(seeds)
+        assert len(lanes) == len(seeds)
+        names = ("sensor.gps", "sensor.imu", "attack.0.gps_bias")
+        interleaved = {}
+        for name in names:  # draw across lanes in engine order
+            for i, lane in enumerate(lanes):
+                interleaved[(i, name)] = lane.stream(name).normal(size=32)
+        for i, seed in enumerate(seeds):
+            solo = RngStreams(seed)
+            for name in names:
+                expected = solo.stream(name).normal(size=32)
+                assert np.array_equal(interleaved[(i, name)], expected)
+
+    def test_equal_seeds_give_equal_lanes(self):
+        a, b = RngStreams.per_lane([5, 5])
+        assert np.array_equal(a.stream("x").normal(size=8),
+                              b.stream("x").normal(size=8))
+
+    def test_distinct_seeds_give_independent_lanes(self):
+        a, b = RngStreams.per_lane([5, 6])
+        assert not np.allclose(a.stream("x").normal(size=8),
+                               b.stream("x").normal(size=8))
