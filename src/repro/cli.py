@@ -16,6 +16,10 @@ Commands:
 * ``calibrate`` — fit assertion thresholds on nominal trace files and save
   a catalog spec.
 * ``faults`` — list the benign fault classes (``adassure faults list``).
+* ``serve`` — run the streaming trace-ingest server (fleet monitoring:
+  TCP endpoint, worker shards, crash-safe session checkpoints).
+* ``stream`` — stream a saved trace into a running server and print the
+  verdict; ``--status`` asks the server for its fleet aggregates.
 * ``list`` — show available scenarios, controllers, attacks, faults,
   assertions.
 
@@ -202,6 +206,81 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ServerConfig, TraceIngestServer
+    from repro.service.store import LeaseConflict
+
+    config = ServerConfig(
+        host=args.host, port=args.port, shards=args.shards,
+        store_dir=args.store_dir,
+        idle_timeout_s=args.idle_timeout,
+        max_inflight_bytes=args.max_inflight_mb << 20,
+    )
+
+    async def _serve() -> int:
+        server = TraceIngestServer(config)
+        try:
+            await server.start()
+        except LeaseConflict as exc:
+            print(f"error: another server already owns this checkpoint "
+                  f"store ({exc}); point --store-dir elsewhere or stop it",
+                  file=sys.stderr)
+            return 2
+        checkpointed = server.store.session_ids()
+        print(f"listening on {config.host}:{server.port}  "
+              f"(shards={config.shards}, store={server.store.root}, "
+              f"{len(checkpointed)} resumable session(s))")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            print()
+            print(server.aggregates.render())
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.core.verdicts import CheckReport
+    from repro.service.client import fetch_status, stream_trace
+
+    if args.status:
+        status = asyncio.run(fetch_status(args.host, args.port))
+        print(json.dumps(status, indent=2))
+        return 0
+    if not args.trace:
+        raise ValueError("stream needs a trace file (or --status)")
+    trace = read_trace_auto(args.trace)
+    session_id = args.session_id or os.path.basename(args.trace)
+    outcome = asyncio.run(stream_trace(
+        trace, args.host, args.port, session_id,
+        chunk_records=args.chunk_records))
+    verdict = outcome.verdict
+    print(f"session {session_id}: {outcome.chunks_applied} chunk(s), "
+          f"{len(outcome.live_violations)} live violation(s), "
+          f"{outcome.busy_retries} busy retr(ies), "
+          f"{outcome.reconnects} reconnect(s)"
+          + (" [verdict replayed from checkpoint]"
+             if outcome.resumed_finished else ""))
+    print()
+    print(render_check_report(CheckReport.from_dict(verdict["report"])))
+    if verdict.get("top_cause"):
+        print(f"\ntop cause: {verdict['top_cause']}  "
+              f"(detection latency: {verdict['detection_latency']})")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("scenarios:  " + ", ".join(standard_scenarios()) + ", acc_follow")
     print("controllers: " + ", ".join(_CONTROLLERS))
@@ -306,6 +385,43 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="list the benign sensor-fault classes")
     p_faults.add_argument("action", choices=("list",))
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the streaming trace-ingest server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8790,
+                         help="TCP port (0 = ephemeral; default 8790)")
+    p_serve.add_argument("--shards", type=int, default=2,
+                         help="worker-process shards for verdict scoring "
+                              "(0 = score inline; default 2)")
+    p_serve.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="session checkpoint directory (default: "
+                              "$ADASSURE_SERVICE_DIR or the cache root)")
+    p_serve.add_argument("--idle-timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="suspend connections silent this long "
+                              "(stalled clients; default 30s)")
+    p_serve.add_argument("--max-inflight-mb", type=int, default=32,
+                         metavar="MB",
+                         help="backpressure credit: un-applied chunk "
+                              "bytes before BUSY (default 32 MB)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_stream = sub.add_parser(
+        "stream", help="stream a saved trace into a running server")
+    p_stream.add_argument("trace", nargs="?",
+                          help="saved trace (.jsonl/.jsonl.gz/.npz)")
+    p_stream.add_argument("--host", default="127.0.0.1")
+    p_stream.add_argument("--port", type=int, default=8790)
+    p_stream.add_argument("--session-id", default=None,
+                          help="session identity (resume key; default: "
+                               "the trace file name)")
+    p_stream.add_argument("--chunk-records", type=int, default=64,
+                          help="records per chunk frame (default 64)")
+    p_stream.add_argument("--status", action="store_true",
+                          help="print the server's fleet aggregates "
+                               "instead of streaming")
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_list = sub.add_parser("list", help="list scenarios/attacks/assertions")
     p_list.set_defaults(func=_cmd_list)

@@ -76,11 +76,21 @@ class OnlineMonitor:
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate assertion ids: {ids}")
         self.assertions = list(assertions)
+        self.reset()
+
+    def reset(self) -> None:
+        """Return the monitor to its pristine state for a fresh stream.
+
+        Monitors carry no stream-specific configuration, so a server
+        handling many sessions can pool and reuse them instead of
+        re-instantiating the assertion catalog per session.
+        """
         for assertion in self.assertions:
             assertion.reset()
         self._first_record: TraceRecord | None = None
         self._last_record: TraceRecord | None = None
         self._finished = False
+        self._report: CheckReport | None = None
 
     def feed(self, record: TraceRecord) -> list[Violation]:
         """Process one record; returns episodes that closed at this step."""
@@ -110,17 +120,24 @@ class OnlineMonitor:
         well-formed zero-duration report: no violations, every assertion
         summarized as silent.
 
+        Idempotent: calling ``finish`` again returns the same report
+        object (a disconnect-and-resume client may ask twice; the
+        verdict must not change or double-close episodes).  Only
+        :meth:`reset` re-arms the monitor for a new stream.
+
         Args:
             trace: optionally attach the trace's metadata to the report
-                (pass the trace the records came from).
+                (pass the trace the records came from).  Ignored on
+                repeat calls — the first report stands.
         """
         if self._finished:
-            raise RuntimeError("monitor already finished")
+            return self._report
         self._finished = True
         for assertion in self.assertions:
             assertion.finish(self._last_record)
-        return build_report(
+        self._report = build_report(
             self.assertions, trace,
             first_record=self._first_record,
             last_record=self._last_record,
         )
+        return self._report

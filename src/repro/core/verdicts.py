@@ -35,6 +35,29 @@ class Violation:
         """Unsigned violation depth (0 = marginal, 1 = 100% over bound)."""
         return max(-self.worst_margin, 0.0)
 
+    def to_dict(self) -> dict:
+        return {
+            "assertion_id": self.assertion_id,
+            "name": self.name,
+            "category": self.category,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "worst_margin": self.worst_margin,
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Violation":
+        return Violation(
+            assertion_id=data["assertion_id"],
+            name=data["name"],
+            category=data["category"],
+            t_start=float(data["t_start"]),
+            t_end=float(data["t_end"]),
+            worst_margin=float(data["worst_margin"]),
+            message=data.get("message", ""),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class AssertionSummary:
@@ -66,6 +89,34 @@ class AssertionSummary:
         sustained = min(self.total_violation_time / 2.0, 1.0)
         repeated = min(self.episodes / 3.0, 1.0)
         return float(min(0.25 + 0.45 * depth + 0.2 * sustained + 0.1 * repeated, 1.0))
+
+    def to_dict(self) -> dict:
+        return {
+            "assertion_id": self.assertion_id,
+            "name": self.name,
+            "category": self.category,
+            "fired": self.fired,
+            "episodes": self.episodes,
+            "first_violation_t": self.first_violation_t,
+            "total_violation_time": self.total_violation_time,
+            "worst_margin": self.worst_margin,
+            "evaluated": self.evaluated,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "AssertionSummary":
+        first = data.get("first_violation_t")
+        return AssertionSummary(
+            assertion_id=data["assertion_id"],
+            name=data["name"],
+            category=data["category"],
+            fired=bool(data["fired"]),
+            episodes=int(data["episodes"]),
+            first_violation_t=None if first is None else float(first),
+            total_violation_time=float(data["total_violation_time"]),
+            worst_margin=float(data["worst_margin"]),
+            evaluated=bool(data.get("evaluated", True)),
+        )
 
 
 @dataclass(slots=True)
@@ -125,3 +176,34 @@ class CheckReport:
     def evidence(self) -> dict[str, float]:
         """Assertion-id -> evidence strength map for the diagnosis engine."""
         return {aid: s.strength for aid, s in self.summaries.items()}
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form: the monitoring service's wire payload.
+
+        Exact float round-trip (floats travel as-is; ``json`` preserves
+        them losslessly), so ``from_dict(to_dict(r)) == r`` field for
+        field — the property the service's byte-identical verdict
+        contract rests on.
+        """
+        return {
+            "scenario": self.scenario,
+            "controller": self.controller,
+            "attack_label": self.attack_label,
+            "duration": self.duration,
+            "violations": [v.to_dict() for v in self.violations],
+            "summaries": {aid: s.to_dict()
+                          for aid, s in self.summaries.items()},
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CheckReport":
+        return CheckReport(
+            scenario=data.get("scenario", ""),
+            controller=data.get("controller", ""),
+            attack_label=data.get("attack_label", ""),
+            duration=float(data.get("duration", 0.0)),
+            violations=[Violation.from_dict(v)
+                        for v in data.get("violations", [])],
+            summaries={aid: AssertionSummary.from_dict(s)
+                       for aid, s in data.get("summaries", {}).items()},
+        )

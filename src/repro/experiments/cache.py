@@ -42,6 +42,7 @@ from pathlib import Path
 import repro
 from repro.core.spec import catalog_fingerprint
 from repro.core.verdicts import CheckReport
+from repro.locking import FileLease
 from repro.sim.engine import RunResult
 from repro.trace.io import (
     TraceTruncationWarning,
@@ -312,15 +313,30 @@ class CheckpointManifest:
 
     Layout: ``<cache root>/checkpoints/<grid id>.json`` where the grid id
     hashes the full point list with the usual version/catalog salt.
+
+    Concurrent campaigns over the *same grid* in the *same cache dir* are
+    guarded by an advisory :class:`~repro.locking.FileLease` sidecar
+    (``<grid id>.lease``): the first writer owns the ledger, a second
+    writer detects the live lease and goes **read-only** — it still runs
+    (the per-point disk cache keeps the work shared and consistent) but
+    stops flushing the manifest, so the owner's ledger cannot be
+    corrupted by interleaved rewrites.  The conflict is surfaced on
+    :attr:`lease_conflict` (and by the runner as a warning + stats
+    field), never swallowed.  A lease whose heartbeat is older than the
+    TTL (``ADASSURE_LEASE_TTL``) is treated as abandoned and taken over.
     """
 
-    def __init__(self, path: Path, grid_id: str, total: int):
+    def __init__(self, path: Path, grid_id: str, total: int,
+                 lease: FileLease | None = None):
         self.path = path
         self.grid_id = grid_id
         self.total = total
         self.completed: list[list] = []
         self.quarantined: list[dict] = []
         self._seen: set[tuple] = set()
+        self.lease = lease if lease is not None else FileLease(
+            path.with_suffix(".lease"))
+        self.lease_conflict = not self.lease.acquire()
         try:
             prior = json.loads(self.path.read_text(encoding="utf-8"))
             if prior.get("grid_id") == grid_id:
@@ -363,8 +379,20 @@ class CheckpointManifest:
         self.quarantined.append({"point": list(point), "error": error})
         self.flush()
 
+    def release(self) -> None:
+        """Give the manifest's lease back (campaign finished or aborted)."""
+        self.lease.release()
+
     def flush(self) -> None:
-        """Best-effort atomic write; IO errors never fail a campaign."""
+        """Best-effort atomic write; IO errors never fail a campaign.
+
+        A manifest that lost the lease race is read-only: flushing would
+        interleave two writers' ledgers, so it is skipped entirely (the
+        in-memory view still tracks this campaign's own progress).
+        """
+        if self.lease_conflict:
+            return
+        self.lease.refresh()
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             payload = {

@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
@@ -598,82 +599,98 @@ def run_grid(
     cache = RunCache.from_env()
     catalog = catalog_fingerprint() if cache is not None else None
     manifest = CheckpointManifest.for_grid(cache, grid)
+    if manifest is not None and manifest.lease_conflict:
+        # Another live campaign owns this grid's ledger.  The work still
+        # runs (the per-point cache stays shared and consistent); only
+        # the manifest goes read-only.  Report it — a silently lost
+        # ledger is exactly what the lease exists to prevent.
+        stats.lease_conflicts += 1
+        warnings.warn(
+            f"checkpoint manifest {manifest.path.name} is held by another "
+            "live campaign; this run proceeds without updating the shared "
+            "ledger", RuntimeWarning, stacklevel=2)
 
-    # Resolve every unique point through memo -> disk -> pending list.
-    # `resolved` pins this grid's runs so LRU eviction mid-call is safe.
-    resolved: dict[tuple, GridRun] = {}
-    pending: list[tuple] = []
-    seen: set[tuple] = set()
-    for point in grid:
-        if point in seen:
-            continue
-        seen.add(point)
-        run = _memo_get(point)
-        if run is not None:
-            resolved[point] = run
-            stats.memo_hits += 1
-            if manifest is not None:
-                manifest.complete(point)
-            continue
-        if cache is not None:
-            entry = cache.load(cache_key(*point, catalog=catalog))
-            if entry is not None:
-                result, report, diagnosis = entry
-                run = GridRun(
-                    scenario=point[0], controller=point[1], attack=point[2],
-                    intensity=point[3], seed=point[4],
-                    result=result, report=report, diagnosis=diagnosis,
-                )
+    try:
+        # Resolve every unique point through memo -> disk -> pending list.
+        # `resolved` pins this grid's runs so LRU eviction mid-call is safe.
+        resolved: dict[tuple, GridRun] = {}
+        pending: list[tuple] = []
+        seen: set[tuple] = set()
+        for point in grid:
+            if point in seen:
+                continue
+            seen.add(point)
+            run = _memo_get(point)
+            if run is not None:
                 resolved[point] = run
-                _memo_put(point, run)
-                stats.disk_hits += 1
+                stats.memo_hits += 1
                 if manifest is not None:
                     manifest.complete(point)
                 continue
-        pending.append(point)
+            if cache is not None:
+                entry = cache.load(cache_key(*point, catalog=catalog))
+                if entry is not None:
+                    result, report, diagnosis = entry
+                    run = GridRun(
+                        scenario=point[0], controller=point[1], attack=point[2],
+                        intensity=point[3], seed=point[4],
+                        result=result, report=report, diagnosis=diagnosis,
+                    )
+                    resolved[point] = run
+                    _memo_put(point, run)
+                    stats.disk_hits += 1
+                    if manifest is not None:
+                        manifest.complete(point)
+                    continue
+            pending.append(point)
 
-    def merge(point: tuple, run: GridRun, phases: dict) -> None:
-        # Incremental checkpoint: every completed point lands in the
-        # memo, the disk cache and the manifest as soon as it finishes,
-        # so an interrupted campaign re-runs only what is missing.
-        resolved[point] = run
-        _memo_put(point, run)
-        if cache is not None:
-            cache.store(cache_key(*point, catalog=catalog),
-                        run.result, run.report, run.diagnosis)
-        stats.executed += 1
-        for phase, seconds in phases.items():
-            stats.phase_time[phase] += seconds
+        def merge(point: tuple, run: GridRun, phases: dict) -> None:
+            # Incremental checkpoint: every completed point lands in the
+            # memo, the disk cache and the manifest as soon as it finishes,
+            # so an interrupted campaign re-runs only what is missing.
+            resolved[point] = run
+            _memo_put(point, run)
+            if cache is not None:
+                cache.store(cache_key(*point, catalog=catalog),
+                            run.result, run.report, run.diagnosis)
+            stats.executed += 1
+            for phase, seconds in phases.items():
+                stats.phase_time[phase] += seconds
+            if manifest is not None:
+                manifest.complete(point)
+
+        # Execute the misses.  The batch engine (when selected) consumes
+        # whole compatible groups first; whatever it leaves — singleton
+        # groups, fallback groups — goes to the classic executor: serially,
+        # or fanned out over a crash-tolerant process pool.  Pool leftovers
+        # (timed-out points, collapse survivors, first-failure points) fall
+        # back to the serial path, which owns retries and quarantine.
+        stats.sim_engine = resolve_sim_engine(sim_engine)
+        if stats.sim_engine == "batch" and len(pending) > 1:
+            pending = _run_batched(pending, merge, stats)
+
+        n_workers = resolve_workers(workers)
+        use_pool = n_workers > 1 and len(pending) > 1
+        if use_pool and workers is None and (os.cpu_count() or 1) < 2:
+            # Measured: on a single exposed core the pool's pickle/dispatch
+            # overhead makes it *slower* than serial (~0.87x).  When the
+            # count came from the environment rather than an explicit
+            # argument, auto-select the serial path and record why.
+            use_pool = False
+            stats.pool_policy = "serial-single-core"
+        else:
+            stats.pool_policy = "pool" if use_pool else "serial"
+        stats.workers = min(n_workers, len(pending)) if use_pool else 1
+        serial_items = [(point, 0) for point in pending]
+        if use_pool:
+            serial_items = _run_pool(pending, stats.workers, merge, stats,
+                                     timeout=_point_timeout(point_timeout))
+        _run_serial(serial_items, merge, stats, _point_retries(retries), manifest)
+    finally:
+        # The lease must not outlive the campaign: a leaked lease
+        # would lock this grid's ledger until the TTL expires.
         if manifest is not None:
-            manifest.complete(point)
-
-    # Execute the misses.  The batch engine (when selected) consumes
-    # whole compatible groups first; whatever it leaves — singleton
-    # groups, fallback groups — goes to the classic executor: serially,
-    # or fanned out over a crash-tolerant process pool.  Pool leftovers
-    # (timed-out points, collapse survivors, first-failure points) fall
-    # back to the serial path, which owns retries and quarantine.
-    stats.sim_engine = resolve_sim_engine(sim_engine)
-    if stats.sim_engine == "batch" and len(pending) > 1:
-        pending = _run_batched(pending, merge, stats)
-
-    n_workers = resolve_workers(workers)
-    use_pool = n_workers > 1 and len(pending) > 1
-    if use_pool and workers is None and (os.cpu_count() or 1) < 2:
-        # Measured: on a single exposed core the pool's pickle/dispatch
-        # overhead makes it *slower* than serial (~0.87x).  When the
-        # count came from the environment rather than an explicit
-        # argument, auto-select the serial path and record why.
-        use_pool = False
-        stats.pool_policy = "serial-single-core"
-    else:
-        stats.pool_policy = "pool" if use_pool else "serial"
-    stats.workers = min(n_workers, len(pending)) if use_pool else 1
-    serial_items = [(point, 0) for point in pending]
-    if use_pool:
-        serial_items = _run_pool(pending, stats.workers, merge, stats,
-                                 timeout=_point_timeout(point_timeout))
-    _run_serial(serial_items, merge, stats, _point_retries(retries), manifest)
+            manifest.release()
 
     if cache is not None:
         stats.disk_errors = cache.counters.errors

@@ -64,6 +64,10 @@ class GridStats:
     """Groups the batch engine rejected back to the serial/pool path."""
     pool_policy: str = "serial"
     """How the classic executor ran: pool, serial, serial-single-core."""
+    lease_conflicts: int = 0
+    """Checkpoint manifests that went read-only because another live
+    campaign holds the grid's lease (the work still ran; only the
+    shared ledger was left to its owner)."""
     wall_time: float = 0.0
     phase_time: dict = field(default_factory=lambda: dict.fromkeys(PHASES, 0.0))
     """Per-phase busy seconds, summed over workers."""
@@ -104,6 +108,7 @@ class GridStats:
         self.batch_fallbacks += other.batch_fallbacks
         if other.pool_policy != "serial":
             self.pool_policy = other.pool_policy
+        self.lease_conflicts += other.lease_conflicts
         self.wall_time += other.wall_time
         for phase in PHASES:
             self.phase_time[phase] += other.phase_time.get(phase, 0.0)
@@ -130,6 +135,7 @@ class GridStats:
             "batch_points": self.batch_points,
             "batch_fallbacks": self.batch_fallbacks,
             "pool_policy": self.pool_policy,
+            "lease_conflicts": self.lease_conflicts,
             "wall_time_s": round(self.wall_time, 4),
             "busy_time_s": round(self.busy_time, 4),
             "worker_utilization": round(self.worker_utilization, 4),
@@ -165,6 +171,11 @@ class GridStats:
                 f"recovered   : {self.retries} retrie(s), "
                 f"{self.timeouts} timeout(s), "
                 f"{self.pool_failures} pool failure(s)"
+            )
+        if self.lease_conflicts:
+            lines.append(
+                f"lease       : {self.lease_conflicts} manifest(s) "
+                "read-only (another live campaign owns the ledger)"
             )
         if self.quarantined:
             lines.append(f"quarantined : {len(self.quarantined)} point(s)")

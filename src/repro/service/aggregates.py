@@ -1,0 +1,148 @@
+"""Fleet-level aggregates over completed monitoring sessions.
+
+The debugging workflows the service feeds (the paper's E-series
+experiments, a fleet operator's dashboard) care about population
+statistics, not individual verdicts:
+
+* **per-cause violation rates** — of all completed sessions, how many
+  were diagnosed with each root cause (the knowledge-base causes of
+  :mod:`repro.core.diagnosis`), and how many fired no assertion at all;
+* **detection latency percentiles** — for sessions with a known attack
+  onset, how long the catalog took to first fire (p50/p90/p99);
+* **verdict latency percentiles** — service-side: FINISH received to
+  verdict issued, the number the load benchmark tracks as its SLO.
+
+Everything is computed from bounded state: counters plus capped sample
+reservoirs, so a server that has absorbed a million sessions answers a
+STATUS request in microseconds without having kept a million reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["FleetAggregates", "percentile"]
+
+_MAX_SAMPLES = 10_000
+"""Per-metric cap on retained latency samples (drop-oldest ring)."""
+
+
+def percentile(samples: list[float], q: float) -> float | None:
+    """The q-th percentile (0..100) by linear interpolation, or ``None``.
+
+    Small, dependency-free and exact for our sample sizes; matches
+    ``numpy.percentile``'s default (linear) method.
+    """
+    if not samples:
+        return None
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class _Reservoir:
+    """Bounded sample buffer: keeps the most recent ``cap`` values."""
+
+    __slots__ = ("cap", "values", "seen")
+
+    def __init__(self, cap: int = _MAX_SAMPLES):
+        self.cap = cap
+        self.values: list[float] = []
+        self.seen = 0
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        self.values.append(value)
+        if len(self.values) > self.cap:
+            del self.values[: len(self.values) - self.cap]
+
+    def summary(self) -> dict:
+        return {
+            "n": self.seen,
+            "p50": percentile(self.values, 50.0),
+            "p90": percentile(self.values, 90.0),
+            "p99": percentile(self.values, 99.0),
+            "max": max(self.values) if self.values else None,
+        }
+
+
+class FleetAggregates:
+    """Rolling statistics over every session this server completed."""
+
+    def __init__(self) -> None:
+        self.sessions_completed = 0
+        self.sessions_violating = 0
+        self.records_ingested = 0
+        self.cause_counts: Counter[str] = Counter()
+        self.detection_latency = _Reservoir()
+        self.verdict_latency = _Reservoir()
+
+    def record_session(self, verdict: dict,
+                       verdict_latency_s: float | None = None) -> None:
+        """Fold one completed session's verdict into the fleet view.
+
+        ``verdict`` is the :func:`~repro.service.session.score_trace_bytes`
+        dict (also what checkpoints store), so resumed-and-replayed
+        verdicts aggregate identically to freshly computed ones.
+        """
+        self.sessions_completed += 1
+        self.records_ingested += int(verdict.get("n_records", 0))
+        if verdict.get("any_fired"):
+            self.sessions_violating += 1
+            cause = verdict.get("top_cause") or "undiagnosed"
+        else:
+            cause = "clean"
+        self.cause_counts[cause] += 1
+        latency = verdict.get("detection_latency")
+        if latency is not None:
+            self.detection_latency.add(float(latency))
+        if verdict_latency_s is not None:
+            self.verdict_latency.add(float(verdict_latency_s))
+
+    def as_dict(self) -> dict:
+        total = self.sessions_completed
+        return {
+            "sessions_completed": total,
+            "sessions_violating": self.sessions_violating,
+            "violation_rate": (self.sessions_violating / total
+                               if total else 0.0),
+            "records_ingested": self.records_ingested,
+            "per_cause": {
+                cause: {"sessions": count,
+                        "rate": count / total if total else 0.0}
+                for cause, count in sorted(self.cause_counts.items())
+            },
+            "detection_latency_s": self.detection_latency.summary(),
+            "verdict_latency_s": self.verdict_latency.summary(),
+        }
+
+    def render(self) -> str:
+        d = self.as_dict()
+        lines = [
+            "-- fleet aggregates --",
+            f"sessions  : {d['sessions_completed']}  "
+            f"(violating {d['sessions_violating']}, "
+            f"rate {100.0 * d['violation_rate']:.1f}%)",
+            f"records   : {d['records_ingested']}",
+        ]
+        for cause, row in d["per_cause"].items():
+            lines.append(f"  cause {cause:<16}: {row['sessions']} "
+                         f"({100.0 * row['rate']:.1f}%)")
+        det = d["detection_latency_s"]
+        if det["n"]:
+            lines.append(
+                f"detection : p50 {det['p50']:.2f}s  p90 {det['p90']:.2f}s  "
+                f"p99 {det['p99']:.2f}s  (n={det['n']})")
+        ver = d["verdict_latency_s"]
+        if ver["n"]:
+            lines.append(
+                f"verdict   : p50 {1e3 * ver['p50']:.1f}ms  "
+                f"p99 {1e3 * ver['p99']:.1f}ms  (n={ver['n']})")
+        return "\n".join(lines)

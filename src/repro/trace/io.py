@@ -218,8 +218,13 @@ def trace_from_jsonl_bytes(data: bytes) -> Trace:
         stream = io.TextIOWrapper(
             gzip.GzipFile(fileobj=io.BytesIO(data)), encoding="utf-8")
         return _read_jsonl_stream(stream, "<trace bytes>")
-    return _read_jsonl_stream(io.StringIO(data.decode("utf-8")),
-                              "<trace bytes>")
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceIOError(
+            f"<trace bytes>: not a trace payload (binary garbage, "
+            f"{exc.reason} at byte {exc.start})") from exc
+    return _read_jsonl_stream(io.StringIO(text), "<trace bytes>")
 
 
 # ---------------------------------------------------------------------------
@@ -334,7 +339,16 @@ def trace_from_bytes(data: bytes) -> Trace:
     Sniffs the leading magic: zip (binary npz), gzip (compressed JSONL),
     else plain-text JSONL.  The run cache reads entries through this, so
     caches written by older (JSONL) builds still load.
+
+    Payloads too short to even carry a format magic (what a torn network
+    frame or a zero-byte cache file looks like) raise
+    :class:`TraceIOError` up front rather than a confusing low-level
+    error from whichever decoder the sniffer happened to guess.
     """
+    if len(data) < len(_ZIP_MAGIC):
+        raise TraceIOError(
+            f"<trace bytes>: payload of {len(data)} byte(s) is too short "
+            "to be a trace (no format magic)")
     if data[:4] == _ZIP_MAGIC:
         return trace_from_npz_bytes(data)
     return trace_from_jsonl_bytes(data)
@@ -348,6 +362,10 @@ def read_trace_auto(path: str | Path) -> Trace:
             head = f.read(4)
     except OSError as exc:
         raise TraceIOError(f"{path}: unreadable trace file: {exc}") from exc
+    if len(head) < len(_ZIP_MAGIC):
+        raise TraceIOError(
+            f"{path}: file of {len(head)} byte(s) is too short to be a "
+            "trace (no format magic)")
     if head == _ZIP_MAGIC:
         return read_trace_npz(path)
     if head[:2] == _GZIP_MAGIC and path.suffix != ".gz":

@@ -62,8 +62,32 @@ class TestOnlineMonitor:
         monitor.finish()
         with pytest.raises(RuntimeError):
             monitor.feed(make_record(0))
-        with pytest.raises(RuntimeError):
-            monitor.finish()
+
+    def test_finish_idempotent(self):
+        """A second finish() returns the same report instead of raising —
+        a resuming client may request the verdict twice."""
+        monitor = OnlineMonitor([bound_assertion()])
+        for i in range(20):
+            monitor.feed(make_record(i, cte_true=5.0))
+        first = monitor.finish()
+        again = monitor.finish()
+        assert again is first
+        assert first.summaries["T1"].fired
+
+    def test_reset_rearms_for_new_stream(self):
+        """reset() lets a pooled monitor serve a second, unrelated stream
+        with verdicts identical to a fresh instance's."""
+        monitor = OnlineMonitor([bound_assertion()])
+        for i in range(20):
+            monitor.feed(make_record(i, cte_true=5.0))
+        assert monitor.finish().summaries["T1"].fired
+
+        monitor.reset()
+        for i in range(20):
+            monitor.feed(make_record(i, cte_true=0.0))
+        clean = monitor.finish()
+        assert not clean.summaries["T1"].fired
+        assert clean.violations == []
 
     def test_report_meta_from_trace(self):
         trace = make_trace(10)

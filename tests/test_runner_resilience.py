@@ -189,3 +189,76 @@ class TestCheckpointResume:
                         for m in manifests)
         assert totals == [2, 4]
         clear_cache()
+
+
+class TestManifestLease:
+    """Two campaigns sharing a manifest dir must not corrupt the ledger:
+    the second writer detects the first's live lease, goes read-only, and
+    the conflict is reported — never silently lost."""
+
+    def test_concurrent_second_writer_goes_read_only(self, tmp_path,
+                                                     monkeypatch):
+        from repro.experiments.cache import CheckpointManifest, RunCache
+
+        monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("ADASSURE_CACHE", raising=False)
+        cache = RunCache()
+        grid = [("s_curve", "pure_pursuit", "gps_bias", 1.0, s, 5.0, 12.0)
+                for s in (1, 7, 42)]
+
+        first = CheckpointManifest.for_grid(cache, grid)
+        assert not first.lease_conflict
+        first.complete(grid[0])
+
+        # A second runner opens the same grid while the first is live.
+        second = CheckpointManifest.for_grid(cache, grid)
+        assert second.lease_conflict  # reported, not silent
+        second.complete(grid[1])
+        second.complete(grid[2])
+
+        # The read-only second writer must not have touched the ledger.
+        ledger = json.loads(first.path.read_text())
+        assert ledger["completed"] == [list(grid[0])]
+
+        # The owner keeps flushing normally.
+        first.complete(grid[1])
+        ledger = json.loads(first.path.read_text())
+        assert len(ledger["completed"]) == 2
+
+        # Once the owner releases, a fresh campaign owns the ledger again.
+        first.release()
+        third = CheckpointManifest.for_grid(cache, grid)
+        assert not third.lease_conflict
+        assert third.resumed == 2  # it resumed the owner's ledger intact
+        third.release()
+
+    def test_run_grid_reports_lease_conflict(self, tmp_path, monkeypatch):
+        from repro.experiments.cache import CheckpointManifest, RunCache
+
+        monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("ADASSURE_CACHE", raising=False)
+        clear_cache()
+
+        # Hold the lease for exactly the grid run_grid will build.
+        grid = [
+            (scenario, controller, attack, 1.0, seed, GRID["onset"],
+             GRID["duration"])
+            for scenario in GRID["scenarios"]
+            for controller in GRID["controllers"]
+            for attack in GRID["attacks"]
+            for seed in GRID["seeds"]
+        ]
+        holder = CheckpointManifest.for_grid(RunCache(), grid)
+        assert not holder.lease_conflict
+        holder.flush()  # materialize the (empty) ledger on disk
+
+        with pytest.warns(RuntimeWarning, match="held by another"):
+            runs = run_grid(workers=1, **GRID)
+        assert len(runs) == 4  # the campaign itself still completed
+        assert STATS.last.lease_conflicts == 1
+
+        # The holder's ledger was never touched by the read-only loser.
+        ledger = json.loads(holder.path.read_text())
+        assert ledger["completed"] == []
+        holder.release()
+        clear_cache()

@@ -1,0 +1,265 @@
+"""Chaos harness: inject every failure the service claims to survive.
+
+Each test drives the real client/server code with a failure knob turned
+on — mid-frame disconnects, torn and duplicated frames, stalled clients
+against backpressure, SIGKILLed worker shards, raw garbage on the socket
+— and then holds the line on two invariants:
+
+1. the server stays up (later sessions complete normally), and
+2. every completed session's verdict is **byte-identical** to offline
+   :func:`repro.core.checker.check_trace` on the same trace, issued
+   exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+from repro.service.client import TraceStreamClient, fetch_status, stream_trace
+from repro.service.protocol import FrameType, encode_frame, read_frame
+
+from service_utils import attacked_trace, offline_verdict, serving
+
+
+class TestTornFrames:
+    def test_mid_frame_disconnect_then_resume(self, tmp_path):
+        """The client dies halfway through writing a CHUNK frame; the
+        server must classify it as truncation, checkpoint, and resume."""
+        trace = attacked_trace()
+
+        async def go():
+            async with serving(tmp_path) as server:
+                outcome = await stream_trace(
+                    trace, "127.0.0.1", server.port, "veh-torn",
+                    chunk_records=25, disconnect_after_chunks=4,
+                    tear_frame=True)
+                return outcome, server.truncated_frames, \
+                    server.verdicts_issued
+
+        outcome, truncated, issued = asyncio.run(go())
+        assert truncated >= 1, "tear must be seen as FrameTruncated"
+        assert outcome.reconnects >= 1
+        assert issued == 1
+        assert outcome.verdict["report"] == offline_verdict(trace)
+
+    def test_corrupt_frame_suspends_but_preserves_session(self, tmp_path):
+        """A CRC-corrupted frame kills the connection (framing lost
+        sync) but never the session: resume completes it."""
+        trace = attacked_trace()
+        records = list(trace.records)
+
+        async def go():
+            async with serving(tmp_path) as server:
+                from repro.service.session import chunk_to_bytes
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(encode_frame(FrameType.HELLO, {
+                    "session_id": "veh-crc",
+                    "meta": trace.meta.to_dict()}))
+                writer.write(encode_frame(
+                    FrameType.CHUNK, {"seq": 0},
+                    chunk_to_bytes(trace.meta, records[:100])))
+                await writer.drain()
+                assert (await read_frame(reader)).type is FrameType.WELCOME
+                assert (await read_frame(reader)).type is FrameType.ACK
+                # now a deliberately corrupted frame
+                bad = bytearray(encode_frame(
+                    FrameType.CHUNK, {"seq": 1},
+                    chunk_to_bytes(trace.meta, records[100:])))
+                bad[-1] ^= 0xFF
+                writer.write(bytes(bad))
+                await writer.drain()
+                reply = await read_frame(reader)
+                assert reply is not None and reply.type is FrameType.ERROR
+                writer.close()
+                await asyncio.sleep(0.05)  # let the suspend land
+                outcome = await stream_trace(
+                    trace, "127.0.0.1", server.port, "veh-crc",
+                    chunk_records=100)
+                return outcome, server.protocol_errors
+
+        outcome, protocol_errors = asyncio.run(go())
+        assert protocol_errors >= 1
+        assert outcome.chunks_applied == 1, "first 100 records survived"
+        assert outcome.verdict["report"] == offline_verdict(trace)
+
+
+class TestDuplicatedFrames:
+    def test_retransmits_are_acked_never_reapplied(self, tmp_path):
+        trace = attacked_trace()
+
+        async def go():
+            async with serving(tmp_path) as server:
+                return await stream_trace(
+                    trace, "127.0.0.1", server.port, "veh-dup",
+                    chunk_records=25, duplicate_chunks=True)
+
+        outcome = asyncio.run(go())
+        assert outcome.duplicate_acks == outcome.chunks_applied == 8
+        # if any duplicate had been re-fed, the record log would hold
+        # 400 records and this comparison would fail
+        assert outcome.verdict["report"] == offline_verdict(trace)
+
+
+class TestGarbageOnTheWire:
+    def test_non_protocol_bytes_do_not_kill_the_server(self, tmp_path):
+        trace = attacked_trace()
+
+        async def go():
+            async with serving(tmp_path) as server:
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"GET / HTTP/1.1\r\nHost: nope\r\n\r\n")
+                await writer.drain()
+                writer.close()
+                outcome = await stream_trace(
+                    trace, "127.0.0.1", server.port, "veh-after",
+                    chunk_records=50)
+                return outcome, server.protocol_errors
+
+        outcome, protocol_errors = asyncio.run(go())
+        assert protocol_errors >= 1
+        assert outcome.verdict["report"] == offline_verdict(trace)
+
+
+class TestBackpressure:
+    def test_stalled_ingest_yields_busy_not_buffering(self, tmp_path):
+        """Slow the server's apply path and shrink the inflight credit:
+        concurrent streams must see BUSY + retry, and still finish with
+        correct verdicts."""
+        traces = [attacked_trace(window=(60 + 10 * i, 120 + 10 * i))
+                  for i in range(3)]
+        probe = TraceStreamClient("h", 0, chunk_records=40)
+        chunk_bytes = len(probe._encode_chunks(traces[0])[0])
+
+        async def go():
+            async with serving(
+                    tmp_path, chunk_delay_s=0.05,
+                    max_inflight_bytes=int(1.5 * chunk_bytes)) as server:
+                outcomes = await asyncio.gather(*[
+                    stream_trace(t, "127.0.0.1", server.port,
+                                 f"veh-bp-{i}", chunk_records=40)
+                    for i, t in enumerate(traces)])
+                return outcomes, server.busy_sent
+
+        outcomes, busy_sent = asyncio.run(go())
+        assert busy_sent >= 1, "credit exhaustion must answer BUSY"
+        assert sum(o.busy_retries for o in outcomes) >= 1
+        for trace, outcome in zip(traces, outcomes):
+            assert outcome.verdict["report"] == offline_verdict(trace)
+
+    def test_stalled_client_is_suspended_not_leaked(self, tmp_path):
+        """A client that goes silent holds no server slot: the idle
+        timeout suspends it, and a resume later completes the stream."""
+        trace = attacked_trace()
+
+        async def go():
+            async with serving(tmp_path, idle_timeout_s=0.15) as server:
+                from repro.service.session import chunk_to_bytes
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(encode_frame(FrameType.HELLO, {
+                    "session_id": "veh-stall",
+                    "meta": trace.meta.to_dict()}))
+                writer.write(encode_frame(
+                    FrameType.CHUNK, {"seq": 0},
+                    chunk_to_bytes(trace.meta, list(trace.records)[:100])))
+                await writer.drain()
+                await read_frame(reader)  # WELCOME
+                await read_frame(reader)  # ACK
+                await asyncio.sleep(0.5)  # ... and go silent
+                hung_up = await read_frame(reader)
+                outcome = await stream_trace(
+                    trace, "127.0.0.1", server.port, "veh-stall",
+                    chunk_records=100)
+                return hung_up, outcome, server
+
+        hung_up, outcome, server = asyncio.run(go())
+        assert hung_up is None, "server must hang up on a stalled client"
+        assert server.stalled_clients == 1
+        assert server.sessions == {}
+        assert outcome.chunks_applied == 1  # only the unacked half resent
+        assert outcome.verdict["report"] == offline_verdict(trace)
+
+
+class TestShardDeath:
+    def test_sigkilled_worker_is_respawned_and_session_completes(
+            self, tmp_path):
+        trace = attacked_trace()
+
+        async def go():
+            async with serving(tmp_path, shards=1) as server:
+                server.shards.warm()
+                pids = server.shards.worker_pids()
+                assert pids, "warm() must spawn the shard worker"
+                for pid in pids:
+                    os.kill(pid, signal.SIGKILL)
+                outcome = await stream_trace(
+                    trace, "127.0.0.1", server.port, "veh-kill",
+                    chunk_records=50)
+                return outcome, server.shards.stats(), pids
+
+        outcome, stats, old_pids = asyncio.run(go())
+        assert stats["shard_failures"] >= 1
+        assert stats["respawns"] >= 1
+        assert outcome.verdict["report"] == offline_verdict(trace)
+        for pid in old_pids:  # the killed workers are really gone
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                pass
+
+    def test_partial_verdicts_preserved_across_shard_loss(self, tmp_path):
+        """Verdicts issued before the shard died stay correct and
+        replayable afterwards."""
+        first, second = attacked_trace(), attacked_trace(window=(50, 110))
+
+        async def go():
+            async with serving(tmp_path, shards=1) as server:
+                a = await stream_trace(first, "127.0.0.1", server.port,
+                                       "veh-a", chunk_records=50)
+                for pid in server.shards.worker_pids():
+                    os.kill(pid, signal.SIGKILL)
+                b = await stream_trace(second, "127.0.0.1", server.port,
+                                       "veh-b", chunk_records=50)
+                replay = await stream_trace(first, "127.0.0.1", server.port,
+                                            "veh-a", chunk_records=50)
+                return a, b, replay
+
+        a, b, replay = asyncio.run(go())
+        assert a.verdict["report"] == offline_verdict(first)
+        assert b.verdict["report"] == offline_verdict(second)
+        assert replay.resumed_finished and replay.verdict == a.verdict
+
+
+class TestFleetChaos:
+    def test_mixed_failure_fleet_all_verdicts_exact(self, tmp_path):
+        """Concurrent sessions, each with a different injected failure;
+        every verdict must match the offline oracle, exactly once."""
+        traces = [attacked_trace(window=(40 + 20 * i, 120 + 10 * i))
+                  for i in range(5)]
+        knobs = [
+            {},                                             # clean run
+            {"disconnect_after_chunks": 2},                 # clean drop
+            {"disconnect_after_chunks": 3, "tear_frame": True},
+            {"duplicate_chunks": True},
+            {"disconnect_after_chunks": 1},
+        ]
+
+        async def go():
+            async with serving(tmp_path, shards=2) as server:
+                outcomes = await asyncio.gather(*[
+                    stream_trace(t, "127.0.0.1", server.port,
+                                 f"veh-fleet-{i}", chunk_records=25, **k)
+                    for i, (t, k) in enumerate(zip(traces, knobs))])
+                status = await fetch_status("127.0.0.1", server.port)
+                return outcomes, status
+
+        outcomes, status = asyncio.run(go())
+        for trace, outcome in zip(traces, outcomes):
+            assert outcome.verdict["report"] == offline_verdict(trace)
+        assert status["counters"]["verdicts_issued"] == 5
+        assert status["fleet"]["sessions_completed"] == 5
+        assert status["counters"]["suspends"] >= 3

@@ -1,0 +1,133 @@
+"""Wire-format tests: framing, CRC, versioning, truncation detection."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.service.protocol import (
+    FRAME_MAGIC,
+    MAX_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    PREFIX_BYTES,
+    PROTOCOL_VERSION,
+    FrameTruncated,
+    FrameType,
+    ProtocolError,
+    decode_frames,
+    encode_frame,
+    read_frame,
+)
+
+
+def read_from_bytes(data: bytes):
+    """Drive the async reader against an in-memory byte buffer."""
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+    return asyncio.run(_go())
+
+
+class TestRoundTrip:
+    def test_empty_frame(self):
+        frame = read_from_bytes(encode_frame(FrameType.BYE))
+        assert frame.type is FrameType.BYE
+        assert frame.header == {}
+        assert frame.payload == b""
+
+    def test_header_and_payload(self):
+        wire = encode_frame(FrameType.CHUNK, {"seq": 3, "id": "veh-1"},
+                            b"\x00\x01binary\xff")
+        frame = read_from_bytes(wire)
+        assert frame.type is FrameType.CHUNK
+        assert frame.header == {"seq": 3, "id": "veh-1"}
+        assert frame.payload == b"\x00\x01binary\xff"
+
+    def test_every_frame_type_roundtrips(self):
+        for ftype in FrameType:
+            frame = read_from_bytes(encode_frame(ftype, {"k": 1}))
+            assert frame.type is ftype
+
+    def test_decode_frames_multiple(self):
+        wire = (encode_frame(FrameType.HELLO, {"a": 1})
+                + encode_frame(FrameType.CHUNK, {"seq": 0}, b"xyz")
+                + encode_frame(FrameType.BYE))
+        frames = decode_frames(wire)
+        assert [f.type for f in frames] == [
+            FrameType.HELLO, FrameType.CHUNK, FrameType.BYE]
+        assert frames[1].payload == b"xyz"
+
+    def test_clean_eof_returns_none(self):
+        assert read_from_bytes(b"") is None
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        wire = bytearray(encode_frame(FrameType.ACK, {"seq": 1}))
+        wire[:4] = b"NOPE"
+        with pytest.raises(ProtocolError, match="magic"):
+            read_from_bytes(bytes(wire))
+
+    def test_foreign_version(self):
+        wire = bytearray(encode_frame(FrameType.ACK, {}))
+        wire[4] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            read_from_bytes(bytes(wire))
+
+    def test_unknown_frame_type(self):
+        wire = bytearray(encode_frame(FrameType.ACK, {}))
+        wire[5] = 200
+        with pytest.raises(ProtocolError, match="frame type"):
+            read_from_bytes(bytes(wire))
+
+    def test_corrupted_payload_fails_crc(self):
+        wire = bytearray(encode_frame(FrameType.CHUNK, {"seq": 0},
+                                      b"AAAABBBB"))
+        wire[-3] ^= 0xFF  # flip a payload bit
+        with pytest.raises(ProtocolError, match="CRC"):
+            read_from_bytes(bytes(wire))
+
+    def test_corrupted_header_fails_crc(self):
+        wire = bytearray(encode_frame(FrameType.CHUNK, {"seq": 12345}))
+        wire[PREFIX_BYTES + 2] ^= 0x01
+        with pytest.raises(ProtocolError, match="CRC"):
+            read_from_bytes(bytes(wire))
+
+    def test_oversized_payload_rejected_before_read(self):
+        prefix = struct.Struct("!4sBBxxIII").pack(
+            FRAME_MAGIC, PROTOCOL_VERSION, int(FrameType.CHUNK),
+            0, MAX_PAYLOAD_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="payload length"):
+            read_from_bytes(prefix)
+
+    def test_oversized_header_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="header"):
+            encode_frame(FrameType.HELLO,
+                         {"pad": "x" * (MAX_HEADER_BYTES + 1)})
+
+
+class TestTruncation:
+    """A torn frame must be distinguishable from a clean close."""
+
+    def test_eof_inside_prefix(self):
+        wire = encode_frame(FrameType.CHUNK, {"seq": 0}, b"payload")
+        with pytest.raises(FrameTruncated):
+            read_from_bytes(wire[:PREFIX_BYTES - 3])
+
+    def test_eof_inside_payload(self):
+        wire = encode_frame(FrameType.CHUNK, {"seq": 0}, b"payload-bytes")
+        with pytest.raises(FrameTruncated, match="mid-CHUNK"):
+            read_from_bytes(wire[:-4])
+
+    def test_decode_frames_trailing_garbage(self):
+        wire = encode_frame(FrameType.ACK, {"seq": 1}) + b"\x01\x02"
+        with pytest.raises(FrameTruncated):
+            decode_frames(wire)
+
+    def test_truncated_is_a_protocol_error(self):
+        # Callers that only care about "bad stream" can catch the base.
+        assert issubclass(FrameTruncated, ProtocolError)

@@ -7,8 +7,10 @@ import pytest
 from repro.trace.io import (
     TraceIOError,
     TraceTruncationWarning,
+    read_trace_auto,
     read_trace_csv,
     read_trace_jsonl,
+    trace_from_bytes,
     trace_from_jsonl_bytes,
     trace_to_jsonl_bytes,
     write_trace_csv,
@@ -164,3 +166,28 @@ class TestCsv:
         path.write_text("a,b,c\n1,2,3\n")
         with pytest.raises(ValueError, match="columns"):
             read_trace_csv(path)
+
+
+class TestSubMagicPayloads:
+    """Regression: payloads too short to carry a format magic must raise
+    a clear TraceIOError, not a raw struct/Unicode/IndexError.  This is
+    what a torn network frame or a zero-byte cache file looks like."""
+
+    @pytest.mark.parametrize("payload", [b"", b"\x1f", b"PK\x03"],
+                             ids=["0-byte", "1-byte", "3-byte"])
+    def test_trace_from_bytes_rejects_short_payloads(self, payload):
+        with pytest.raises(TraceIOError, match="too short"):
+            trace_from_bytes(payload)
+
+    @pytest.mark.parametrize("payload", [b"", b"\x1f", b"PK\x03"],
+                             ids=["0-byte", "1-byte", "3-byte"])
+    def test_read_trace_auto_rejects_short_files(self, tmp_path, payload):
+        path = tmp_path / "stub.trace"
+        path.write_bytes(payload)
+        with pytest.raises(TraceIOError, match="too short"):
+            read_trace_auto(path)
+
+    def test_non_utf8_garbage_is_a_trace_error(self):
+        # 4+ bytes, no known magic, not decodable text: still TraceIOError.
+        with pytest.raises(TraceIOError, match="not a trace payload"):
+            trace_from_bytes(b"\xff\xfe\xfd\xfc\xfb")
