@@ -1,6 +1,6 @@
 # Development entry points for the ADAssure reproduction.
 
-.PHONY: install test bench bench-compare bench-runner bench-sim experiments examples clean
+.PHONY: install test bench bench-compare bench-runner bench-sim bench-distributed experiments examples clean
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation || python setup.py develop
@@ -26,6 +26,11 @@ bench-runner:
 # oracle (64 lanes, bit-identity verified) and write BENCH_sim.json.
 bench-sim:
 	python -m repro.sim.batch --lanes 64 --output BENCH_sim.json
+
+# Benchmark the distributed campaign backend (cold serial / worker fleet
+# / chaos pass with the fleet SIGKILLed mid-shard) → BENCH_distributed.json.
+bench-distributed:
+	python benchmarks/bench_distributed.py --output BENCH_distributed.json
 
 # Regenerate every evaluation table/figure at full size (a few minutes).
 experiments:

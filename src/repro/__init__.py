@@ -37,7 +37,10 @@ from repro.trace import Trace, compute_metrics, diff_traces
 # 1.2: columnar trace backend + vectorized assertion checking; the run
 # cache moves to the binary trace format (cache layout v2 — older
 # entries live under a separate root and are simply not found).
-__version__ = "1.3.0"
+# 1.4: scheduler/executor/result-store split + the distributed campaign
+# backend (grid specs embed this version; mixed-version fleets refuse
+# to share a campaign).
+__version__ = "1.4.0"
 
 __all__ = [
     "run_scenario",

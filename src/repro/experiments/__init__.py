@@ -7,11 +7,22 @@ so the benchmark suite can run them in a reduced *quick* mode while the CLI
 reproduces the full-size tables.
 """
 
+from repro.experiments.backend import (
+    BatchExecutor,
+    CacheResultStore,
+    Executor,
+    PoolExecutor,
+    ResultStore,
+    Scheduler,
+    SerialExecutor,
+    build_grid,
+)
 from repro.experiments.cache import RunCache, cache_key
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     GridRun,
     clear_cache,
+    resolve_executor,
     resolve_workers,
     run_grid,
     set_memo_limit,
@@ -42,8 +53,17 @@ __all__ = [
     "RunCache",
     "cache_key",
     "clear_cache",
+    "resolve_executor",
     "resolve_workers",
     "set_memo_limit",
+    "Scheduler",
+    "Executor",
+    "ResultStore",
+    "BatchExecutor",
+    "PoolExecutor",
+    "SerialExecutor",
+    "CacheResultStore",
+    "build_grid",
     "GridStats",
     "STATS",
     "build_detection_matrix",

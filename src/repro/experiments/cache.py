@@ -35,6 +35,7 @@ import json
 import os
 import pickle
 import shutil
+import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -58,6 +59,7 @@ __all__ = [
     "cache_key",
     "cache_key_params",
     "default_cache_dir",
+    "grid_identity",
 ]
 
 CACHE_FORMAT_VERSION = 2
@@ -128,6 +130,23 @@ def cache_key_params(params: dict, *, catalog: str | None = None) -> str:
         "code": repro.__version__,
         "catalog": catalog if catalog is not None else catalog_fingerprint(),
         "params": params,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+
+
+def grid_identity(grid: list[tuple]) -> str:
+    """Stable campaign id: a hash of the full point list, version-salted.
+
+    Shared by the checkpoint manifest, the distributed shard board and
+    the serialized grid spec, so every process that enumerates the same
+    campaign — coordinator, resuming run, worker on another host —
+    agrees on one ledger/board identity.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "code": repro.__version__,
+        "grid": [list(point) for point in grid],
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
@@ -276,6 +295,36 @@ class RunCache:
             except OSError:
                 pass
 
+    # -- lease/manifest health ------------------------------------------
+    def _lease_events_path(self) -> Path:
+        return self.root / "checkpoints" / "lease_events.log"
+
+    def log_lease_event(self, kind: str, detail: dict) -> None:
+        """Append one lease incident to the campaign directory's log.
+
+        Conflicts are rare, operator-relevant events (a second campaign
+        fighting over a ledger, a shard lease stolen mid-run), so they
+        are persisted — ``adassure cache stats`` reports the cumulative
+        count.  One small JSON line per event; appends of a line this
+        size are atomic on POSIX, and the log is best-effort anyway.
+        """
+        try:
+            path = self._lease_events_path()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            line = json.dumps({"kind": kind, "time": time.time(), **detail})
+            with path.open("a", encoding="utf-8") as f:
+                f.write(line + "\n")
+        except OSError:
+            pass
+
+    def lease_event_count(self) -> int:
+        """Lease incidents ever logged into this cache directory."""
+        try:
+            with self._lease_events_path().open("r", encoding="utf-8") as f:
+                return sum(1 for line in f if line.strip())
+        except OSError:
+            return 0
+
     # -- maintenance ----------------------------------------------------
     def stats(self) -> dict:
         """Entry count and byte footprint of the disk layer."""
@@ -352,16 +401,16 @@ class CheckpointManifest:
         """The manifest for this grid, or ``None`` with the cache off."""
         if cache is None:
             return None
-        payload = {
-            "format": CACHE_FORMAT_VERSION,
-            "code": repro.__version__,
-            "grid": [list(point) for point in grid],
-        }
-        canonical = json.dumps(payload, sort_keys=True,
-                               separators=(",", ":"))
-        grid_id = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+        grid_id = grid_identity(grid)
         path = cache.root / "checkpoints" / (grid_id + ".json")
-        return CheckpointManifest(path, grid_id, total=len(grid))
+        manifest = CheckpointManifest(path, grid_id, total=len(grid))
+        if manifest.lease_conflict:
+            holder = manifest.lease.holder() or {}
+            cache.log_lease_event("manifest-lease-conflict", {
+                "grid_id": grid_id,
+                "holder": holder.get("owner", "<unknown>"),
+            })
+        return manifest
 
     @property
     def resumed(self) -> int:

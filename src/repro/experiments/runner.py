@@ -1,7 +1,8 @@
 """Grid runner: scenario x controller x attack x seed, with check+diagnose.
 
 Every experiment funnels through :func:`run_grid` so runs are executed and
-scored uniformly.  Three layers amortize repeated work:
+scored uniformly.  Since the scheduler/executor/result-store split
+(:mod:`repro.experiments.backend`), ``run_grid`` is a thin composition:
 
 1. an **in-process LRU memo** (bounded, default 512 runs) lets experiments
    that share grid points inside one process (e.g. E1 and E2) reuse
@@ -9,32 +10,46 @@ scored uniformly.  Three layers amortize repeated work:
 2. a **persistent on-disk cache** (:mod:`repro.experiments.cache`,
    content-addressed by scenario/controller/attack/intensity/seed/onset/
    duration + catalog + code version) survives across processes, so a
-   repeated campaign re-simulates nothing;
-3. uncached grid points fan out over a ``ProcessPoolExecutor``
-   (``workers=`` argument / ``ADASSURE_WORKERS`` env / default
-   ``os.cpu_count() - 1``); ``workers=1`` keeps the classic serial path.
+   repeated campaign re-simulates nothing — memo + cache + checkpoint
+   manifest together form the
+   :class:`~repro.experiments.backend.CacheResultStore` every executor
+   commits through;
+3. uncached grid points run through a pluggable **executor chain**:
+   the lockstep batch engine
+   (:class:`~repro.experiments.backend.BatchExecutor`, ``--sim-engine
+   batch``), then either a single-host ``ProcessPoolExecutor`` fan-out
+   (:class:`~repro.experiments.backend.PoolExecutor`, ``workers=`` /
+   ``ADASSURE_WORKERS``) or the multi-host lease-claimed worker fleet
+   (:class:`~repro.experiments.distributed.DistributedExecutor`,
+   ``executor="distributed"`` / ``ADASSURE_EXECUTOR``), and finally the
+   terminal :class:`~repro.experiments.backend.SerialExecutor`, which
+   owns retries and quarantine.
 
-Because every run is fully seeded, parallel and serial execution produce
-bit-identical results; workers only change wall-clock time.  Each
-``run_grid`` call reports timings and hit counts into
+Because every run is fully seeded, every backend produces bit-identical
+results; executors only change wall-clock time.  Each ``run_grid`` call
+reports timings and hit counts into
 :data:`repro.experiments.stats.STATS`.
 
-The pool layer is **crash-tolerant**: a campaign of thousands of points
-must survive one sick point or one dead worker.  Concretely,
+The chain is **crash-tolerant**: a campaign of thousands of points must
+survive one sick point, one dead worker, or one dead *host*.  Concretely,
 
 * every pool point gets a wall-clock budget (``point_timeout=`` /
   ``ADASSURE_POINT_TIMEOUT``; unlimited by default) — an overdue point is
   abandoned to the pool and re-run serially;
 * a collapsed pool (``BrokenProcessPool``, e.g. a worker OOM-killed or
   ``os._exit``-ing) is not fatal: the surviving points re-run serially;
-* failing points are retried with exponential backoff
-  (``ADASSURE_POINT_RETRIES``, default 2) and finally **quarantined** —
-  reported in :class:`~repro.experiments.stats.GridStats` (and
-  ``--stats``) instead of aborting the campaign;
+* failing points are retried with jittered exponential backoff
+  (``ADASSURE_POINT_RETRIES``, default 2; total per-point backoff capped
+  by ``ADASSURE_RETRY_CAP``) and finally **quarantined** — reported in
+  :class:`~repro.experiments.stats.GridStats` (and ``--stats``) instead
+  of aborting the campaign;
 * completed points are checkpointed to the disk cache *as they finish*,
   with a campaign-level :class:`~repro.experiments.cache.CheckpointManifest`
   ledger, so an interrupted campaign resumes from where it died and
-  re-runs only the missing points.
+  re-runs only the missing points;
+* distributed workers that die mid-shard lose their lease after the
+  heartbeat TTL and the shard is reclaimed — see
+  :mod:`repro.experiments.distributed` for the full failure semantics.
 """
 
 from __future__ import annotations
@@ -45,8 +60,6 @@ import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
-from concurrent.futures.process import BrokenProcessPool
 
 from repro.attacks.campaign import standard_attack
 from repro.control.acc import AccController
@@ -56,6 +69,13 @@ from repro.core.checker import check_trace
 from repro.core.diagnosis import DiagnosisResult, diagnose
 from repro.core.spec import catalog_fingerprint
 from repro.core.verdicts import CheckReport
+from repro.experiments.backend import (
+    BatchExecutor,
+    CacheResultStore,
+    PoolExecutor,
+    SerialExecutor,
+    build_grid,
+)
 from repro.experiments.cache import (
     CheckpointManifest,
     RunCache,
@@ -72,6 +92,7 @@ __all__ = [
     "run_grid",
     "run_scored",
     "clear_cache",
+    "resolve_executor",
     "resolve_sim_engine",
     "resolve_workers",
     "set_memo_limit",
@@ -239,6 +260,47 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(int(workers), 1)
 
 
+def resolve_executor(executor: str | None = None) -> str:
+    """Effective campaign executor: argument > ``ADASSURE_EXECUTOR`` > auto.
+
+    * ``"auto"`` — today's single-host behaviour: batch prepass when the
+      batch engine is selected, then pool (or serial on one core);
+    * ``"serial"`` — force the in-process serial path;
+    * ``"pool"`` — force the single-host process pool;
+    * ``"distributed"`` — spawn a lease-claimed worker fleet sharing the
+      disk cache (:mod:`repro.experiments.distributed`); other hosts can
+      join with ``adassure worker``.
+    """
+    if executor is None:
+        env = os.environ.get("ADASSURE_EXECUTOR", "").strip()
+        executor = env or "auto"
+    executor = executor.strip().lower()
+    if executor not in ("auto", "serial", "pool", "distributed"):
+        raise ValueError(
+            f"unknown executor {executor!r}; expected 'auto', 'serial', "
+            "'pool' or 'distributed'")
+    return executor
+
+
+def resolve_dist_workers(dist_workers: int | None = None) -> int:
+    """Distributed fleet size: argument > ``ADASSURE_DIST_WORKERS`` > ≥2.
+
+    The default is at least two workers — a one-worker "fleet" is legal
+    (still crash-tolerant via lease reclaim on restart) but defeats the
+    point of asking for the distributed executor.
+    """
+    if dist_workers is None:
+        env = os.environ.get("ADASSURE_DIST_WORKERS")
+        if env:
+            try:
+                dist_workers = int(env)
+            except ValueError:
+                dist_workers = None
+        if dist_workers is None:
+            dist_workers = max(resolve_workers(None), 2)
+    return max(int(dist_workers), 1)
+
+
 # ---------------------------------------------------------------------------
 # Point execution (also the ProcessPoolExecutor work unit)
 # ---------------------------------------------------------------------------
@@ -327,56 +389,6 @@ def _execute_batch(points: list[tuple], merge) -> None:
               {"simulate": sim_share, "check": t2 - t1, "diagnose": t3 - t2})
 
 
-def _run_batched(points: list[tuple], merge, stats) -> list[tuple]:
-    """Group pending points and step each group as one batched simulation.
-
-    Points are grouped by ``(scenario, duration)`` — the compatibility
-    key the batch engine requires (same route family, dt, step count and
-    lead configuration) — and capped at :func:`_batch_lanes` lanes per
-    group.  Any group that fails (incompatible lanes, a mid-run
-    divergence the vectorized path cannot express, a plain bug) falls
-    back whole to the serial/pool path; the returned list is whatever
-    still needs the classic executor.
-    """
-    groups: dict[tuple, list[tuple]] = {}
-    for point in points:
-        groups.setdefault((point[0], point[6]), []).append(point)
-    cap = _batch_lanes()
-    leftover: list[tuple] = []
-    for group in groups.values():
-        for i in range(0, len(group), cap):
-            chunk = group[i:i + cap]
-            if len(chunk) < 2:
-                leftover.extend(chunk)
-                continue
-            try:
-                _execute_batch(chunk, merge)
-            except Exception:
-                stats.batch_fallbacks += 1
-                leftover.extend(chunk)
-            else:
-                stats.batch_groups += 1
-                stats.batch_points += len(chunk)
-    return leftover
-
-
-def _chunk_size(n_points: int, n_workers: int) -> int:
-    """Points per pool task: ``$ADASSURE_CHUNK`` or a load-balance heuristic.
-
-    Batching amortizes per-task pickle/dispatch overhead, but chunks must
-    stay small enough that every worker gets several (load balancing, and
-    a lost chunk costs little).  Four chunks per worker, capped at 8
-    points each; small grids keep chunk size 1.
-    """
-    env = os.environ.get("ADASSURE_CHUNK")
-    if env:
-        try:
-            return max(int(env), 1)
-        except ValueError:
-            pass
-    return max(1, min(8, n_points // (4 * n_workers)))
-
-
 def _execute_chunk(points: list[tuple]) -> list[tuple]:
     """Pool work unit: execute a batch of points in one task.
 
@@ -393,96 +405,6 @@ def _execute_chunk(points: list[tuple]) -> list[tuple]:
         except Exception as exc:
             out.append((point, None, None, f"{type(exc).__name__}: {exc}"))
     return out
-
-
-def _run_pool(points: list[tuple], n_workers: int, merge, stats,
-              timeout: float | None) -> list[tuple]:
-    """Fan points over a process pool; returns ``(point, failures)`` leftovers.
-
-    Points are submitted in chunks (:func:`_chunk_size`) to amortize
-    pool/pickle overhead.  The pool half of the fault-tolerance contract:
-    a chunk that exceeds its wall-clock budget (``timeout`` scaled by
-    chunk length) is abandoned (its worker may be hung, so the pool is
-    dropped without joining it), a point that raises comes back with one
-    failure on its ledger, and a pool collapse
-    (:class:`BrokenProcessPool` — a worker OOM-killed or dying mid-task)
-    returns every unfinished point.  The caller re-runs all leftovers on
-    the serial path, which owns retries and quarantine.
-    """
-    leftover: list[tuple] = []
-    abandoned = False
-    size = _chunk_size(len(points), n_workers)
-    stats.chunk_size = size
-    chunks = [points[i:i + size] for i in range(0, len(points), size)]
-    pool = ProcessPoolExecutor(max_workers=n_workers)
-
-    def merge_outcomes(outcomes: list[tuple]) -> None:
-        for point, run, phases, error in outcomes:
-            if error is None:
-                merge(point, run, phases)
-            else:
-                leftover.append((point, 1))
-
-    try:
-        futures = [(pool.submit(_execute_chunk, chunk), chunk)
-                   for chunk in chunks]
-        for index, (future, chunk) in enumerate(futures):
-            budget = None if timeout is None else timeout * len(chunk)
-            try:
-                outcomes = future.result(timeout=budget)
-            except FutureTimeout:
-                stats.timeouts += 1
-                leftover.extend((point, 0) for point in chunk)
-                abandoned = True
-                continue
-            except BrokenProcessPool:
-                stats.pool_failures += 1
-                for late_future, late_chunk in futures[index:]:
-                    if (late_future.done() and not late_future.cancelled()
-                            and late_future.exception() is None):
-                        merge_outcomes(late_future.result())
-                    else:
-                        leftover.extend((p, 0) for p in late_chunk)
-                break
-            except Exception:
-                # Chunk-level failure (e.g. the result failed to pickle):
-                # every point of the chunk gets one failure on its ledger.
-                leftover.extend((point, 1) for point in chunk)
-                continue
-            merge_outcomes(outcomes)
-    finally:
-        # A hung worker must not hang the campaign: once a chunk has been
-        # abandoned, drop the pool without waiting for its processes.
-        pool.shutdown(wait=not abandoned, cancel_futures=True)
-    return leftover
-
-
-def _run_serial(items: list[tuple], merge, stats, retries: int,
-                manifest: CheckpointManifest | None) -> None:
-    """Execute ``(point, failures)`` pairs with bounded retry + quarantine.
-
-    Each point gets ``retries`` re-executions beyond its first attempt
-    (failures inherited from the pool count against the budget), with
-    exponential backoff between attempts.  A point that exhausts the
-    budget is quarantined — recorded in ``stats`` and the checkpoint
-    manifest — instead of aborting the campaign.
-    """
-    for point, failures in items:
-        while True:
-            if failures:
-                stats.retries += 1
-                time.sleep(_RETRY_BACKOFF * (2 ** (failures - 1)))
-            try:
-                merge(*_execute_point(point))
-                break
-            except Exception as exc:
-                failures += 1
-                if failures > retries:
-                    error = f"{type(exc).__name__}: {exc}"
-                    stats.quarantined.append((point, error))
-                    if manifest is not None:
-                        manifest.quarantine(point, error)
-                    break
 
 
 def run_scored(params: dict, simulate) -> tuple[RunResult, CheckReport]:
@@ -560,15 +482,19 @@ def run_grid(
     point_timeout: float | None = None,
     retries: int | None = None,
     sim_engine: str | None = None,
+    executor: str | None = None,
+    dist_workers: int | None = None,
+    shard_points: int | None = None,
 ) -> list[GridRun]:
     """Run (and score) the full cartesian grid.
 
     Results come back in grid order (scenario-major, seed-minor) and are
-    identical regardless of ``workers`` — the pool only changes how the
-    uncached points are executed.  Hits are served from the in-process
-    memo first, then from the persistent disk cache; freshly executed
-    points are merged back into both layers *as they complete* (the
-    incremental checkpoint an interrupted campaign resumes from).
+    identical regardless of ``workers`` or ``executor`` — the backends
+    only change how the uncached points are executed.  Hits are served
+    from the in-process memo first, then from the persistent disk cache;
+    freshly executed points are merged back into both layers *as they
+    complete* (the incremental checkpoint an interrupted campaign
+    resumes from).
 
     With ``sim_engine="batch"`` (or ``ADASSURE_SIM=batch``), compatible
     uncached points are grouped and stepped in lockstep through the
@@ -576,24 +502,27 @@ def run_grid(
     reaches the pool; results are bit-identical to the serial engine, and
     any group the batch engine rejects falls back to the classic path.
 
+    With ``executor="distributed"`` (or ``ADASSURE_EXECUTOR=distributed``),
+    the uncached points are instead striped into lease-claimable shards
+    and executed by ``dist_workers`` independent worker *processes*
+    sharing the disk cache as their common result store — additional
+    hosts can join the same campaign with ``adassure worker``.  Shard
+    size is ``shard_points`` (or ``ADASSURE_SHARD_POINTS``).
+
     Execution is crash-tolerant: slow points are re-run serially after
-    ``point_timeout`` seconds, a collapsed worker pool degrades to serial
-    execution of the surviving points, and a point that still fails after
-    ``retries`` re-executions is quarantined — dropped from the returned
-    list and reported via :data:`~repro.experiments.stats.STATS` — rather
-    than aborting the campaign.  Callers that require the full grid can
-    compare ``len(result)`` against their request.
+    ``point_timeout`` seconds, a collapsed worker pool (or a wholly dead
+    distributed fleet) degrades to serial execution of the surviving
+    points, and a point that still fails after ``retries`` re-executions
+    is quarantined — dropped from the returned list and reported via
+    :data:`~repro.experiments.stats.STATS` — rather than aborting the
+    campaign.  Callers that require the full grid can compare
+    ``len(result)`` against their request.
     """
     wall_start = time.perf_counter()
     stats = GridStats(workers=1)
 
-    grid: list[tuple] = [
-        (scenario, controller, attack, intensity, seed, onset, duration)
-        for scenario in scenarios
-        for controller in controllers
-        for attack in attacks
-        for seed in seeds
-    ]
+    grid = build_grid(scenarios, controllers, attacks, seeds,
+                      intensity=intensity, onset=onset, duration=duration)
     stats.grid_points = len(grid)
 
     cache = RunCache.from_env()
@@ -610,6 +539,7 @@ def run_grid(
             "live campaign; this run proceeds without updating the shared "
             "ledger", RuntimeWarning, stacklevel=2)
 
+    store = CacheResultStore(cache, catalog, manifest, _memo_get, _memo_put)
     try:
         # Resolve every unique point through memo -> disk -> pending list.
         # `resolved` pins this grid's runs so LRU eviction mid-call is safe.
@@ -620,77 +550,90 @@ def run_grid(
             if point in seen:
                 continue
             seen.add(point)
-            run = _memo_get(point)
-            if run is not None:
+            hit = store.resolve(point)
+            if hit is not None:
+                run, source = hit
                 resolved[point] = run
-                stats.memo_hits += 1
-                if manifest is not None:
-                    manifest.complete(point)
-                continue
-            if cache is not None:
-                entry = cache.load(cache_key(*point, catalog=catalog))
-                if entry is not None:
-                    result, report, diagnosis = entry
-                    run = GridRun(
-                        scenario=point[0], controller=point[1], attack=point[2],
-                        intensity=point[3], seed=point[4],
-                        result=result, report=report, diagnosis=diagnosis,
-                    )
-                    resolved[point] = run
-                    _memo_put(point, run)
+                if source == "memo":
+                    stats.memo_hits += 1
+                else:
                     stats.disk_hits += 1
-                    if manifest is not None:
-                        manifest.complete(point)
-                    continue
+                continue
             pending.append(point)
 
-        def merge(point: tuple, run: GridRun, phases: dict) -> None:
+        def merge(point: tuple, run: GridRun, phases: dict | None) -> None:
             # Incremental checkpoint: every completed point lands in the
-            # memo, the disk cache and the manifest as soon as it finishes,
-            # so an interrupted campaign re-runs only what is missing.
+            # result store (memo + disk cache + manifest) as soon as it
+            # finishes, so an interrupted campaign re-runs only what is
+            # missing.  ``phases=None`` marks a point executed elsewhere
+            # (a distributed worker) and adopted from the shared store —
+            # already durable, so only the local bookkeeping runs.
             resolved[point] = run
-            _memo_put(point, run)
-            if cache is not None:
-                cache.store(cache_key(*point, catalog=catalog),
-                            run.result, run.report, run.diagnosis)
+            if phases is None:
+                _memo_put(point, run)
+                if manifest is not None:
+                    manifest.complete(point)
+                stats.dist_points += 1
+                return
+            store.commit(point, run)
             stats.executed += 1
             for phase, seconds in phases.items():
                 stats.phase_time[phase] += seconds
-            if manifest is not None:
-                manifest.complete(point)
 
-        # Execute the misses.  The batch engine (when selected) consumes
-        # whole compatible groups first; whatever it leaves — singleton
-        # groups, fallback groups — goes to the classic executor: serially,
-        # or fanned out over a crash-tolerant process pool.  Pool leftovers
-        # (timed-out points, collapse survivors, first-failure points) fall
-        # back to the serial path, which owns retries and quarantine.
+        # Execute the misses through the executor chain.  The batch
+        # engine (when selected) consumes whole compatible groups first;
+        # the primary executor — process pool or distributed fleet —
+        # takes the rest; all leftovers (timed-out points, collapse
+        # survivors, dead-fleet remainders, first-failure points) fall
+        # back to the terminal serial executor, which owns retries and
+        # quarantine and always converges.
         stats.sim_engine = resolve_sim_engine(sim_engine)
-        if stats.sim_engine == "batch" and len(pending) > 1:
-            pending = _run_batched(pending, merge, stats)
+        mode = resolve_executor(executor)
+        if mode == "distributed" and cache is None:
+            warnings.warn(
+                "the distributed executor needs the disk cache as its "
+                "shared result store (ADASSURE_CACHE=0 disables it); "
+                "falling back to the single-host executor chain",
+                RuntimeWarning, stacklevel=2)
+            mode = "auto"
+        items = [(point, 0) for point in pending]
 
-        n_workers = resolve_workers(workers)
-        use_pool = n_workers > 1 and len(pending) > 1
-        if use_pool and workers is None and (os.cpu_count() or 1) < 2:
-            # Measured: on a single exposed core the pool's pickle/dispatch
-            # overhead makes it *slower* than serial (~0.87x).  When the
-            # count came from the environment rather than an explicit
-            # argument, auto-select the serial path and record why.
-            use_pool = False
-            stats.pool_policy = "serial-single-core"
+        if mode == "distributed" and items:
+            from repro.experiments.distributed import DistributedExecutor
+            n_dist = resolve_dist_workers(dist_workers)
+            dist = DistributedExecutor(
+                grid, store, n_dist, shard_points=shard_points,
+                sim_engine=stats.sim_engine)
+            items = dist.execute(items, merge, stats)
+            stats.pool_policy = "distributed"
         else:
-            stats.pool_policy = "pool" if use_pool else "serial"
-        stats.workers = min(n_workers, len(pending)) if use_pool else 1
-        serial_items = [(point, 0) for point in pending]
-        if use_pool:
-            serial_items = _run_pool(pending, stats.workers, merge, stats,
-                                     timeout=_point_timeout(point_timeout))
-        _run_serial(serial_items, merge, stats, _point_retries(retries), manifest)
+            if stats.sim_engine == "batch" and len(items) > 1:
+                items = BatchExecutor().execute(items, merge, stats)
+            n_workers = resolve_workers(workers)
+            use_pool = (mode in ("auto", "pool")
+                        and n_workers > 1 and len(items) > 1)
+            if use_pool and workers is None and (os.cpu_count() or 1) < 2:
+                # Measured: on a single exposed core the pool's
+                # pickle/dispatch overhead makes it *slower* than serial
+                # (~0.87x).  When the count came from the environment
+                # rather than an explicit argument, auto-select the
+                # serial path and record why.
+                use_pool = False
+                stats.pool_policy = "serial-single-core"
+            else:
+                stats.pool_policy = "pool" if use_pool else "serial"
+            stats.workers = min(n_workers, len(items)) if use_pool else 1
+            if use_pool:
+                items = PoolExecutor(
+                    stats.workers,
+                    timeout=_point_timeout(point_timeout),
+                ).execute(items, merge, stats)
+        SerialExecutor(_point_retries(retries)).execute(
+            items, merge, stats, store.quarantine)
     finally:
         # The lease must not outlive the campaign: a leaked lease
         # would lock this grid's ledger until the TTL expires.
-        if manifest is not None:
-            manifest.release()
+        store.close()
 
     if cache is not None:
         stats.disk_errors = cache.counters.errors

@@ -63,7 +63,24 @@ class GridStats:
     batch_fallbacks: int = 0
     """Groups the batch engine rejected back to the serial/pool path."""
     pool_policy: str = "serial"
-    """How the classic executor ran: pool, serial, serial-single-core."""
+    """How the classic executor ran: pool, serial, serial-single-core,
+    distributed."""
+    executor: str = "local"
+    """Executor chain that ran the misses: local or distributed."""
+    dist_workers: int = 0
+    """Worker processes spawned by the distributed executor."""
+    dist_points: int = 0
+    """Points executed by distributed workers and adopted from the
+    shared result store (not re-executed locally)."""
+    shards_total: int = 0
+    """Lease-claimable shards the grid was striped into."""
+    shards_claimed: int = 0
+    """Shard claims across the whole fleet (>= shards_total when shards
+    were reclaimed after a worker death)."""
+    shards_reclaimed: int = 0
+    """Shards re-claimed after their previous owner's lease went stale."""
+    heartbeats: int = 0
+    """Lease heartbeat renewals sent by distributed workers."""
     lease_conflicts: int = 0
     """Checkpoint manifests that went read-only because another live
     campaign holds the grid's lease (the work still ran; only the
@@ -108,6 +125,14 @@ class GridStats:
         self.batch_fallbacks += other.batch_fallbacks
         if other.pool_policy != "serial":
             self.pool_policy = other.pool_policy
+        if other.executor != "local":
+            self.executor = other.executor
+        self.dist_workers = max(self.dist_workers, other.dist_workers)
+        self.dist_points += other.dist_points
+        self.shards_total += other.shards_total
+        self.shards_claimed += other.shards_claimed
+        self.shards_reclaimed += other.shards_reclaimed
+        self.heartbeats += other.heartbeats
         self.lease_conflicts += other.lease_conflicts
         self.wall_time += other.wall_time
         for phase in PHASES:
@@ -135,6 +160,13 @@ class GridStats:
             "batch_points": self.batch_points,
             "batch_fallbacks": self.batch_fallbacks,
             "pool_policy": self.pool_policy,
+            "executor": self.executor,
+            "dist_workers": self.dist_workers,
+            "dist_points": self.dist_points,
+            "shards_total": self.shards_total,
+            "shards_claimed": self.shards_claimed,
+            "shards_reclaimed": self.shards_reclaimed,
+            "heartbeats": self.heartbeats,
             "lease_conflicts": self.lease_conflicts,
             "wall_time_s": round(self.wall_time, 4),
             "busy_time_s": round(self.busy_time, 4),
@@ -165,6 +197,15 @@ class GridStats:
                 f"batched     : {self.batch_points} point(s) in "
                 f"{self.batch_groups} group(s), "
                 f"{self.batch_fallbacks} fallback(s)"
+            )
+        if self.executor == "distributed" or self.shards_total:
+            lines.append(
+                f"distributed : {self.dist_points} point(s) adopted from "
+                f"{self.dist_workers} worker(s); "
+                f"{self.shards_claimed} claim(s) over "
+                f"{self.shards_total} shard(s), "
+                f"{self.shards_reclaimed} reclaimed, "
+                f"{self.heartbeats} heartbeat(s)"
             )
         if self.retries or self.timeouts or self.pool_failures:
             lines.append(

@@ -30,7 +30,7 @@ import time
 import uuid
 from pathlib import Path
 
-__all__ = ["FileLease", "LeaseConflict", "default_lease_ttl"]
+__all__ = ["FileLease", "LeaseConflict", "default_lease_ttl", "lease_state"]
 
 DEFAULT_LEASE_TTL = 60.0
 """Seconds without a heartbeat before a lease is considered abandoned."""
@@ -65,6 +65,43 @@ class LeaseConflict(RuntimeError):
             f"(heartbeat {owner.get('heartbeat', '?')})")
 
 
+def _record_stale(record: dict | None, ttl: float) -> bool:
+    """Whether a lease record should be treated as abandoned.
+
+    A heartbeat older than the TTL means the owner died without
+    releasing.  A heartbeat more than one TTL *in the future* means the
+    stamp came from a badly skewed (or corrupt) clock — trusting it
+    would let one broken writer lock the resource forever, so it is also
+    treated as abandoned; a live skewed owner will notice the theft at
+    release time (owner check) rather than corrupting anything.
+    """
+    if record is None:
+        return True  # corrupt or vanished: treat as abandoned
+    try:
+        heartbeat = float(record["heartbeat"])
+    except (KeyError, TypeError, ValueError):
+        return True
+    age = time.time() - heartbeat
+    return age > ttl or -age > ttl
+
+
+def lease_state(path: str | Path, ttl: float | None = None) -> str:
+    """Classify one lease file: ``"active"``, ``"stale"`` or ``"absent"``.
+
+    Read-only — for health reporting (``adassure cache stats``) and for
+    shard-board scans that must not disturb live claimants.
+    """
+    path = Path(path)
+    if not path.exists():
+        return "absent"
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        record = None
+    ttl = ttl if ttl is not None else default_lease_ttl()
+    return "stale" if _record_stale(record, ttl) else "active"
+
+
 class FileLease:
     """One advisory lease file guarding a shared resource.
 
@@ -86,6 +123,9 @@ class FileLease:
         self.owner_id = f"{socket.gethostname()}:{os.getpid()}:" \
                         f"{uuid.uuid4().hex[:8]}"
         self._held = False
+        self.stale_breaks = 0
+        """Abandoned leases this handle broke while acquiring — workers
+        surface it as a reclaim/health counter."""
 
     # -- inspection -----------------------------------------------------
     @property
@@ -100,13 +140,7 @@ class FileLease:
             return None
 
     def _stale(self, record: dict | None) -> bool:
-        if record is None:
-            return True  # corrupt or vanished: treat as abandoned
-        try:
-            heartbeat = float(record["heartbeat"])
-        except (KeyError, TypeError, ValueError):
-            return True
-        return (time.time() - heartbeat) > self.ttl
+        return _record_stale(record, self.ttl)
 
     # -- lifecycle ------------------------------------------------------
     def _record(self) -> bytes:
@@ -136,6 +170,7 @@ class FileLease:
                         raise LeaseConflict(self.path, current or {})
                     return False
                 # Abandoned: break it and retry the exclusive create.
+                self.stale_breaks += 1
                 try:
                     self.path.unlink()
                 except OSError:
@@ -157,10 +192,16 @@ class FileLease:
 
         Best-effort — a failed heartbeat must not crash the writer; the
         worst case is another writer breaking the lease after the TTL,
-        which the conflict handling already covers.
+        which the conflict handling already covers.  A stolen lease is
+        *not* re-stamped: heartbeating over a thief's record would let
+        two writers silently fight forever, whereas leaving it lets the
+        owner detect the theft at release time.
         """
         if not self._held:
             return
+        current = self.holder()
+        if current is not None and current.get("owner") != self.owner_id:
+            return  # stolen mid-run; report at release, don't fight
         try:
             tmp = self.path.with_suffix(self.path.suffix +
                                         f".hb.{os.getpid()}")

@@ -175,6 +175,52 @@ class TestCheckpointResume:
         assert ledger["quarantined"] == []
         clear_cache()
 
+    def test_crash_between_commit_and_manifest_is_lossless(self, tmp_path,
+                                                           monkeypatch):
+        """Die after a point's cache commit but *before* its manifest
+        update — the narrowest crash window the commit-before-ledger
+        ordering covers.  Resume must neither lose the committed point
+        (the cache, not the ledger, is the source of truth) nor run any
+        point twice."""
+        from repro.experiments.cache import CheckpointManifest, RunCache
+
+        monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("ADASSURE_CACHE", raising=False)
+        clear_cache()
+
+        real_complete = CheckpointManifest.complete
+        completions = {"n": 0}
+
+        def dying_complete(self, point):
+            if completions["n"] >= 2:
+                # The point's result is already durable in the cache;
+                # this kill leaves only its bookkeeping unwritten.
+                raise KeyboardInterrupt
+            completions["n"] += 1
+            return real_complete(self, point)
+
+        monkeypatch.setattr(CheckpointManifest, "complete", dying_complete)
+        with pytest.raises(KeyboardInterrupt):
+            run_grid(workers=1, **GRID)
+
+        # Three commits landed (two ledgered, one in the crash window).
+        assert RunCache().stats()["entries"] == 3
+        manifests = list(tmp_path.rglob("checkpoints/*.json"))
+        assert len(manifests) == 1
+        assert len(json.loads(manifests[0].read_text())["completed"]) == 2
+
+        # Resume: the unledgered commit is a disk hit, not a re-run.
+        monkeypatch.setattr(CheckpointManifest, "complete", real_complete)
+        clear_cache()
+        runs = run_grid(workers=1, **GRID)
+        assert len(runs) == 4
+        assert STATS.last.executed == 1      # only the truly missing point
+        assert STATS.last.disk_hits == 3     # no point lost...
+        assert RunCache().stats()["entries"] == 4  # ...and none doubled
+        ledger = json.loads(manifests[0].read_text())
+        assert len(ledger["completed"]) == 4
+        clear_cache()
+
     def test_manifest_ledger_matches_grid_identity(self, tmp_path,
                                                    monkeypatch):
         monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path))
