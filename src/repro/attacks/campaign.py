@@ -29,7 +29,14 @@ from repro.attacks.radar import (
     RadarRangeScaleAttack,
 )
 
-__all__ = ["AttackCampaign", "ATTACK_CLASSES", "make_attack", "standard_attack"]
+__all__ = [
+    "AttackCampaign",
+    "ATTACK_CLASSES",
+    "campaign_classes",
+    "make_attack",
+    "reparameterized_attack",
+    "standard_attack",
+]
 
 _DEFAULT_ONSET = 15.0
 
@@ -166,6 +173,69 @@ def standard_attack(
     return AttackCampaign(
         label=attack_class,
         attacks=[make_attack(attack_class, intensity=intensity, onset=onset)],
+    )
+
+
+def campaign_classes(label: str) -> tuple[str, ...]:
+    """Attack class names encoded in a campaign label (``"a+b"`` → ``(a, b)``).
+
+    Inverse of the ``+``-joined labeling used by :func:`standard_attack`
+    and :func:`combined_attack`; the counterfactual ablation uses it to
+    decompose a violating run's campaign back into re-parameterizable
+    channels.  ``"none"`` (and the empty label) decode to no classes.
+    """
+    if label in ("", "none"):
+        return ()
+    classes = tuple(part for part in label.split("+") if part)
+    for cls in classes:
+        if cls not in ATTACK_CLASSES:
+            raise ValueError(
+                f"unknown attack class {cls!r} in campaign label {label!r}; "
+                f"expected classes from {sorted(ATTACK_CLASSES)}"
+            )
+    return classes
+
+
+def reparameterized_attack(
+    label: str,
+    intensity: float = 1.0,
+    onset: float = _DEFAULT_ONSET,
+    end: float = float("inf"),
+    classes: tuple[str, ...] | list[str] | None = None,
+) -> AttackCampaign:
+    """Rebuild a standard/combined campaign with an edited window, magnitude
+    or channel subset — the counterfactual probe hook.
+
+    Args:
+        label: the original campaign label (``"gps_bias"``,
+            ``"gps_bias+imu_gyro_bias"``, or ``"none"``).
+        intensity: magnitude knob for every surviving class.
+        onset: injection start, seconds.
+        end: injection end (default: never ends, matching
+            :func:`standard_attack`).
+        classes: optional channel subset to keep; must be a subset of the
+            label's classes.  ``None`` keeps them all.
+
+    With the label's own parameters this reconstructs the original
+    campaign object-for-object, which is what makes an unchanged
+    counterfactual re-run bit-identical to the cached original.
+    """
+    base = campaign_classes(label)
+    if classes is not None:
+        keep = set(classes)
+        unknown = keep - set(base)
+        if unknown:
+            raise ValueError(
+                f"classes {sorted(unknown)} are not part of campaign "
+                f"{label!r} (classes: {list(base)})"
+            )
+        base = tuple(cls for cls in base if cls in keep)
+    if not base:
+        return AttackCampaign.none()
+    return AttackCampaign(
+        label="+".join(base),
+        attacks=[make_attack(cls, intensity=intensity, onset=onset, end=end)
+                 for cls in base],
     )
 
 

@@ -10,6 +10,11 @@ Commands:
   optionally in parallel (``--workers``), with the batched lockstep
   simulation engine (``--sim-engine batch``) and with campaign stats
   (``--stats``).
+* ``explain`` — counterfactual root-cause isolation: re-simulate a
+  violating run with the injection removed, delta-debug the injection
+  window/channels/magnitude to the minimal violating intervention, and
+  print the causal report (see ``docs/counterfactual.md``); accepts a
+  saved trace, a 40-hex cache key, or explicit flags.
 * ``cache`` — inspect (``stats``) or wipe (``clear``) the persistent
   on-disk run cache that accelerates repeated campaigns; ``stats`` also
   reports campaign lease/manifest health (active/stale leases, orphaned
@@ -165,6 +170,60 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if args.stats_json:
             path = STATS.write_json(args.stats_json)
             print(f"stats written to {path}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.experiments.counterfactual import explain, resolve_cache_key
+    from repro.experiments.stats import STATS
+
+    scenario = args.scenario
+    controller = args.controller
+    attack = args.attack
+    intensity = args.intensity
+    onset = args.onset
+    seed = args.seed
+    if args.target:
+        if os.path.exists(args.target):
+            trace = read_trace_auto(args.target)
+            meta = trace.meta
+            if not meta.scenario or not meta.controller:
+                print(f"trace {args.target!r} carries no scenario/controller "
+                      "metadata; pass --scenario/--controller instead",
+                      file=sys.stderr)
+                return 2
+            scenario, controller = meta.scenario, meta.controller
+            attack, seed = meta.attack, meta.seed
+            trace_onset = trace.attack_onset()
+            if trace_onset is not None:
+                onset = trace_onset
+        else:
+            try:
+                point = resolve_cache_key(args.target)
+            except ValueError as exc:
+                print(f"{exc} (and no such trace file exists)",
+                      file=sys.stderr)
+                return 2
+            if point is None:
+                print(f"cache key {args.target} matches no checkpointed "
+                      "grid point; pass the run's flags instead "
+                      "(--scenario/--controller/--attack/...)",
+                      file=sys.stderr)
+                return 2
+            scenario, controller, attack, intensity, seed, onset, dur = point
+            if args.duration is None and dur is not None:
+                args.duration = dur
+    STATS.reset()
+    report = explain(
+        scenario, controller, attack=attack, fault=args.fault,
+        intensity=intensity, onset=onset, seed=seed,
+        duration=args.duration, budget=args.budget,
+        resolution=args.resolution, sim_engine=args.sim_engine,
+    )
+    print(report.render())
+    if args.stats:
+        print()
+        print(STATS.render())
     return 0
 
 
@@ -414,6 +473,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --stats: also dump machine-readable "
                             "stats JSON (e.g. BENCH_runner.json)")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="counterfactually isolate the minimal intervention "
+             "behind a violating run")
+    p_explain.add_argument(
+        "target", nargs="?", default=None,
+        help="a saved trace file or a 40-hex run-cache key; omitted, "
+             "the run is described by the flags below")
+    p_explain.add_argument("--scenario", default="urban_loop")
+    p_explain.add_argument("--controller", default="pure_pursuit",
+                           choices=_CONTROLLERS)
+    p_explain.add_argument("--attack", default="none",
+                           help="'+'-composed attack label, e.g. "
+                                "gps_bias or gps_bias+imu_bias")
+    p_explain.add_argument("--fault", default="none",
+                           help="'+'-composed benign-fault label")
+    p_explain.add_argument("--intensity", type=float, default=1.0)
+    p_explain.add_argument("--onset", type=float, default=15.0)
+    p_explain.add_argument("--seed", type=int, default=7)
+    p_explain.add_argument("--duration", type=float, default=None,
+                           metavar="SECONDS",
+                           help="truncate the scenario (faster probes)")
+    p_explain.add_argument("--budget", type=int, default=48, metavar="N",
+                           help="max counterfactual probes (cached or "
+                                "fresh) the explanation may spend")
+    p_explain.add_argument("--resolution", type=float, default=0.5,
+                           metavar="SECONDS",
+                           help="granularity of the window bisection")
+    p_explain.add_argument("--sim-engine", choices=("serial", "batch"),
+                           default=None,
+                           help="simulation engine for uncached probes "
+                                "(default: $ADASSURE_SIM or serial)")
+    p_explain.add_argument("--stats", action="store_true",
+                           help="print probe/cache stats after the report")
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the persistent run cache")

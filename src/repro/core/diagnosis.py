@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from repro.core.knowledge import KnowledgeBase, default_knowledge_base
 from repro.core.verdicts import CheckReport
 
-__all__ = ["Diagnosis", "DiagnosisResult", "MultiDiagnosis", "diagnose",
-           "diagnose_multi"]
+__all__ = ["Diagnosis", "DiagnosisResult", "MultiDiagnosis",
+           "apply_tiebreak", "diagnose", "diagnose_multi"]
 
 _EVIDENCE_THRESHOLD = 0.12
 """Minimum strength for an assertion to count as (partially) fired."""
@@ -72,6 +72,18 @@ class DiagnosisResult:
         if len(self.ranking) < 2:
             return True
         return self.ranking[0].posterior >= 2.0 * self.ranking[1].posterior
+
+    @property
+    def ambiguous(self) -> bool:
+        """Detected-but-not-separated: the counterfactual tie-break trigger.
+
+        True when the evidence does not confidently single out the top
+        cause (see :attr:`confident`) — the situation where knowledge-base
+        pattern matching has run out and hypothesis testing
+        (:func:`repro.experiments.counterfactual.counterfactual_tiebreak`)
+        can still separate the candidates.
+        """
+        return len(self.ranking) >= 2 and not self.confident
 
 
 def _clip(p: float) -> float:
@@ -138,8 +150,36 @@ def _rank_evidence(evidence: dict[str, float],
         )
         for d in scored
     ]
-    scored.sort(key=lambda d: d.log_likelihood, reverse=True)
+    # Exact ties are broken by cause name so the ranking is deterministic
+    # (dict insertion order of the knowledge base is an implementation
+    # detail, not a diagnosis).
+    scored.sort(key=lambda d: (-d.log_likelihood, d.cause))
     return DiagnosisResult(ranking=scored, evidence=evidence)
+
+
+def apply_tiebreak(result: DiagnosisResult, scores: dict[str, float],
+                   ) -> DiagnosisResult:
+    """Re-order the head of a ranking by an external score (lower = better).
+
+    The counterfactual hypothesis test produces, per candidate cause, a
+    distance between the observed assertion signature and the signature
+    that cause *actually* produces when re-simulated.  This folds those
+    scores back into the ranking: only causes present in ``scores`` move,
+    and only among the positions they already occupy — the likelihood
+    ranking of everything unprobed is left untouched.  Score ties fall
+    back to the original likelihood order.
+    """
+    if not scores:
+        return result
+    positions = [i for i, d in enumerate(result.ranking) if d.cause in scores]
+    reordered = sorted(
+        (result.ranking[i] for i in positions),
+        key=lambda d: (scores[d.cause], result.ranking.index(d)),
+    )
+    ranking = list(result.ranking)
+    for i, d in zip(positions, reordered):
+        ranking[i] = d
+    return DiagnosisResult(ranking=ranking, evidence=dict(result.evidence))
 
 
 @dataclass(slots=True)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.core.diagnosis import DiagnosisResult
 from repro.core.verdicts import CheckReport
 
-__all__ = ["render_check_report", "render_diagnosis"]
+__all__ = ["render_causal_report", "render_check_report", "render_diagnosis"]
 
 
 def render_check_report(report: CheckReport, max_violations: int = 20) -> str:
@@ -64,4 +64,90 @@ def render_diagnosis(result: DiagnosisResult, top_k: int = 4) -> str:
             "    note: top causes are close — ambiguous diagnosis; "
             "consider authoring a separating assertion (see methodology)."
         )
+    return "\n".join(lines)
+
+
+def _render_intervention(iv) -> str:
+    end = "∞" if iv.end == float("inf") else f"{iv.end:.1f}"
+    return (f"{iv.label} @ intensity {iv.intensity:.3f}, "
+            f"window [{iv.onset:.1f}, {end}) s")
+
+
+def render_causal_report(report) -> str:
+    """Render a counterfactual :class:`~repro.experiments.counterfactual.CausalReport`.
+
+    Takes the report duck-typed (``core`` must not import ``experiments``);
+    the canonical entry point is ``CausalReport.render()``.
+    """
+    s = report.subject
+    lines = [
+        f"ADAssure causal report — scenario={s.scenario} "
+        f"controller={s.controller} seed={s.seed}",
+        f"intervention : {_render_intervention(report.intervention)}",
+    ]
+    if not report.violated:
+        lines.append("verdict      : no assertion fired — nothing to explain")
+        return "\n".join(lines)
+    lines.append(f"verdict      : VIOLATING ({', '.join(report.fired)})")
+    if report.background:
+        lines.append(
+            f"background   : {', '.join(report.background)} fire(s) even "
+            "without the intervention — excluded from the signature")
+    if report.necessary:
+        lines.append("necessity    : confirmed — removing the intervention "
+                     "clears every attributable assertion")
+    else:
+        lines.append("necessity    : NOT confirmed — the violation persists "
+                     "without the intervention (not causally necessary)")
+    if report.window is not None:
+        w = report.window
+        tag = "1-minimal" if w.minimal else "budget-exhausted"
+        lines.append(
+            f"window       : [{w.start:.1f}, {w.end:.1f}) s "
+            f"(of [{w.original_start:.1f}, {w.original_end:.1f})), "
+            f"{tag} at {w.resolution:.2g} s, {w.probes} probe(s)")
+    if report.channels is not None:
+        c = report.channels
+        kept = "+".join(cls for _, cls in c.kept)
+        dropped = "+".join(cls for _, cls in c.dropped) or "none"
+        tag = "1-minimal" if c.minimal else "budget-exhausted"
+        lines.append(
+            f"channels     : {kept} sufficient (dropped: {dropped}), "
+            f"{tag}, {c.probes} probe(s)")
+    if report.magnitude is not None:
+        m = report.magnitude
+        lines.append(
+            f"magnitude    : intensity {m.minimal:.4f} still violates "
+            f"(boundary in ({m.lower:.4f}, {m.minimal:.4f}]), "
+            f"{m.probes} probe(s)")
+    if report.minimal is not None and report.minimal != report.intervention:
+        verified = "verified" if report.minimal_verified else "UNVERIFIED"
+        lines.append(
+            f"minimal      : {_render_intervention(report.minimal)} "
+            f"({verified})")
+    if report.margin_deltas:
+        lines.append("margin deltas (with → without the intervention):")
+        for aid, (with_m, without_m) in sorted(report.margin_deltas.items()):
+            lines.append(f"  {aid:<4} {with_m:+.2f} → {without_m:+.2f}")
+    if report.tiebreak is not None:
+        t = report.tiebreak
+        scores = ", ".join(f"{c}={t.distances[c]:.2f}"
+                           for c in t.candidates)
+        lines.append(
+            f"tie-break    : ambiguous ranking re-tested "
+            f"counterfactually → {t.chosen} (signature distances: {scores})")
+    if report.gap is not None:
+        g = report.gap
+        lines.append(
+            f"gap          : no counterfactual separates "
+            f"{g.causes[0]} from {g.causes[1]} "
+            f"(signature separation {g.separation:.2f}); "
+            f"proposed separating assertions: {', '.join(g.proposed)}")
+    status = "ISOLATED" if report.isolated else "NOT isolated"
+    lines.append(
+        f"confidence   : {report.confidence:.3f}  "
+        f"({report.flipped}/{report.probes} probe(s) flipped the verdict; "
+        f"budget {report.budget}"
+        f"{', exhausted' if report.budget_exhausted else ''})")
+    lines.append(f"result       : {status}")
     return "\n".join(lines)

@@ -19,6 +19,16 @@ from repro.experiments.backend import (
 )
 from repro.experiments.cache import RunCache, cache_key
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.counterfactual import (
+    CausalReport,
+    Intervention,
+    ProbeEngine,
+    SeparationGap,
+    Subject,
+    counterfactual_tiebreak,
+    explain,
+    resolve_cache_key,
+)
 from repro.experiments.runner import (
     GridRun,
     clear_cache,
@@ -66,6 +76,14 @@ __all__ = [
     "build_grid",
     "GridStats",
     "STATS",
+    "CausalReport",
+    "Intervention",
+    "ProbeEngine",
+    "SeparationGap",
+    "Subject",
+    "counterfactual_tiebreak",
+    "explain",
+    "resolve_cache_key",
     "build_detection_matrix",
     "build_latency_table",
     "build_anomaly_traces",

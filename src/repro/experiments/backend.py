@@ -45,6 +45,7 @@ __all__ = [
     "PoolExecutor",
     "ResultStore",
     "Scheduler",
+    "ScoredResultStore",
     "SerialExecutor",
     "SingleShardScheduler",
     "StripedScheduler",
@@ -290,6 +291,75 @@ class CacheResultStore(ResultStore):
     def close(self) -> None:
         if self.manifest is not None:
             self.manifest.release()
+
+
+class ScoredResultStore(ResultStore):
+    """Memo + :class:`~repro.experiments.cache.RunCache` commit point for
+    *params-keyed* off-grid runs.
+
+    :class:`CacheResultStore` addresses grid points by their grid tuple;
+    this sibling addresses everything the cartesian grid cannot express —
+    the E10–E13 extension configurations (via
+    :func:`~repro.experiments.runner.run_scored`) and the counterfactual
+    probe fleet (:mod:`repro.experiments.counterfactual`) — by a canonical
+    JSON params dict hashed through
+    :func:`~repro.experiments.cache.cache_key_params`.  Same layers, same
+    contract: a commit is atomic and content-addressed, so re-running a
+    probe anywhere that shares the cache directory (a pool worker, a
+    distributed fleet member) collapses to one entry — exactly-once by
+    construction, not by coordination.
+
+    A "point" here is the params dict itself; stored values are
+    ``(RunResult, CheckReport)`` pairs (diagnosis is knowledge-base
+    dependent and recomputed by callers).
+    """
+
+    def __init__(self, cache, memo_get: Callable, memo_put: Callable,
+                 catalog: str | None = None):
+        self.cache = cache
+        self.catalog = catalog
+        self._memo_get = memo_get
+        self._memo_put = memo_put
+
+    # -- keys -----------------------------------------------------------
+    @staticmethod
+    def canonical(params: dict) -> str:
+        import json
+        return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+    def memo_key(self, params: dict) -> tuple:
+        return ("scored", self.canonical(params))
+
+    def key(self, params: dict) -> str | None:
+        if self.cache is None:
+            return None
+        from repro.experiments.cache import cache_key_params
+        return cache_key_params(params, catalog=self.catalog)
+
+    # -- ResultStore ----------------------------------------------------
+    def resolve(self, params: dict):
+        pair = self._memo_get(self.memo_key(params))
+        if pair is not None:
+            return pair, "memo"
+        if self.cache is None:
+            return None
+        entry = self.cache.load(self.key(params))
+        if entry is None:
+            return None
+        result, report, _diagnosis = entry
+        pair = (result, report)
+        self._memo_put(self.memo_key(params), pair)
+        return pair, "disk"
+
+    def commit(self, params: dict, pair) -> None:
+        self._memo_put(self.memo_key(params), pair)
+        if self.cache is not None:
+            result, report = pair
+            self.cache.store(self.key(params), result, report, None)
+
+    def quarantine(self, params: dict, error: str) -> None:
+        """Off-grid runs keep no campaign ledger; failures raise to the
+        caller instead of being quarantined."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,1096 @@
+"""Counterfactual root-cause isolation: delta-debug the diagnosis.
+
+Knowledge-base pattern matching (:mod:`repro.core.diagnosis`) ranks
+*hypotheses*; this module tests them.  Given a violating run, it
+re-simulates counterfactuals — the injection removed, its window
+bisected, its channels ablated, its magnitude minimized — to isolate the
+smallest intervention that still flips the verdict, Zeller-style.  Two
+properties the rest of the repo already paid for make this practical:
+
+* **determinism** — every run is a pure function of its coordinates, so a
+  counterfactual differs from the original *only* by the edit
+  (``tests/test_counterfactual_exact.py`` pins this bit-for-bit under
+  both the serial and the lockstep batch engine);
+* **the content-addressed run cache** — probes are params-keyed through
+  :class:`~repro.experiments.backend.ScoredResultStore`, so a repeated
+  explanation re-simulates nothing, probes are shardable across any
+  fleet that shares the cache directory, and every probe commits
+  exactly once.
+
+The search cores (:func:`ddmin_interval`, :func:`ddmin_subset`,
+:func:`bisect_intensity`) are pure functions over a ``violates``
+predicate, so they are property-tested without a simulator in the loop
+(``tests/test_counterfactual.py``).  The driver, :func:`explain`,
+composes them into a :class:`CausalReport`; the same probe machinery
+backs :func:`counterfactual_tiebreak` (E4's escape hatch for ambiguous
+rankings) and :func:`detect_separation_gap` (the automated half of the
+paper's E9 refinement loop: flag cause pairs no counterfactual can
+separate and propose the assertion signature that would).
+
+Probe accounting is deliberately cache-independent: every probe —
+memo hit, disk hit or fresh simulation — counts against the budget, so
+an explanation is a deterministic function of its inputs; the cache only
+changes how fast it converges (``adassure explain --stats`` shows the
+hit split).  See ``docs/counterfactual.md`` for the full algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.attacks.campaign import (
+    ATTACK_CLASSES,
+    AttackCampaign,
+    campaign_classes,
+    reparameterized_attack,
+)
+from repro.core.diagnosis import (
+    DiagnosisResult,
+    apply_tiebreak,
+    diagnose,
+)
+from repro.core.knowledge import KnowledgeBase, default_knowledge_base
+from repro.core.verdicts import CheckReport
+from repro.experiments.stats import STATS, GridStats
+from repro.faults.campaign import (
+    FaultCampaign,
+    fault_classes,
+    reparameterized_fault,
+)
+from repro.sim.engine import RunResult, run_scenario
+from repro.sim.scenario import Scenario, acc_scenario, standard_scenarios
+
+__all__ = [
+    "CausalReport",
+    "Intervention",
+    "IntensityResult",
+    "IntervalResult",
+    "ProbeBudgetExhausted",
+    "ProbeEngine",
+    "ProbeOutcome",
+    "SeparationGap",
+    "Subject",
+    "SubsetResult",
+    "TiebreakResult",
+    "bisect_intensity",
+    "counterfactual_tiebreak",
+    "ddmin_interval",
+    "ddmin_subset",
+    "detect_separation_gap",
+    "explain",
+    "probe_params",
+]
+
+PROBE_KIND = "counterfactual"
+"""``params["kind"]`` discriminator for every probe cache entry."""
+
+DEFAULT_BUDGET = 48
+"""Default probe budget per explanation (every probe counts, cached or not)."""
+
+DEFAULT_RESOLUTION = 0.5
+"""Default window-bisection granularity, seconds."""
+
+GAP_SEPARATION = 0.5
+"""Candidate signatures closer than this (L1 over assertion strengths)
+are considered counterfactually inseparable — the refinement-gap signal."""
+
+
+class ProbeBudgetExhausted(RuntimeError):
+    """A search hit its probe budget; the best result so far is returned
+    with ``exhausted=True`` rather than raising to the caller."""
+
+
+@dataclass(slots=True)
+class _Budget:
+    """Probe counter shared by the searches of one explanation."""
+
+    limit: int
+    used: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return max(self.limit - self.used, 0)
+
+    def charge(self) -> None:
+        if self.used >= self.limit:
+            raise ProbeBudgetExhausted(
+                f"probe budget of {self.limit} exhausted")
+        self.used += 1
+
+
+# ---------------------------------------------------------------------------
+# Search cores: pure functions over a `violates` predicate.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class IntervalResult:
+    """Outcome of :func:`ddmin_interval` (integer step space)."""
+
+    lo: int
+    hi: int
+    probes: int
+    exhausted: bool
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def minimal(self) -> bool:
+        """1-minimality was *verified* (the budget did not cut the search
+        short): trimming one more unit off either end no longer violates."""
+        return not self.exhausted
+
+
+def ddmin_interval(violates, n: int, budget: int = 64) -> IntervalResult:
+    """Shrink the violating interval ``[0, n)`` to a 1-minimal sub-interval.
+
+    ``violates(lo, hi)`` must hold for ``(0, n)`` (the caller verifies it;
+    it is never re-probed here).  Zeller-style delta debugging specialised
+    to contiguous windows: greedily trim power-of-two-sized steps off the
+    right, then the left, halving the step on failure until single-unit
+    trims fail on both ends.
+
+    Guarantees (the hypothesis suite pins each):
+
+    * the returned interval always still violates — a non-monotone
+      predicate cannot over-shrink it below a violating witness;
+    * the interval only ever shrinks, so non-monotone streams cannot
+      loop the search;
+    * on normal exit the interval is 1-minimal;
+    * at most ``budget`` probes are issued; on exhaustion the best
+      violating interval found so far comes back with ``exhausted=True``.
+    """
+    if n < 1:
+        raise ValueError("interval must span at least one unit")
+    budget_ = _Budget(int(budget))
+    lo, hi = 0, n
+    exhausted = False
+
+    def test(a: int, b: int) -> bool:
+        budget_.charge()
+        return bool(violates(a, b))
+
+    step = 1
+    while step * 2 < n:
+        step *= 2
+    try:
+        while step >= 1:
+            if hi - lo > step and test(lo, hi - step):
+                hi -= step
+            elif hi - lo > step and test(lo + step, hi):
+                lo += step
+            else:
+                step //= 2
+    except ProbeBudgetExhausted:
+        exhausted = True
+    return IntervalResult(lo=lo, hi=hi, probes=budget_.used,
+                          exhausted=exhausted)
+
+
+@dataclass(frozen=True, slots=True)
+class SubsetResult:
+    """Outcome of :func:`ddmin_subset`."""
+
+    kept: tuple
+    probes: int
+    exhausted: bool
+
+    @property
+    def minimal(self) -> bool:
+        return not self.exhausted
+
+
+def ddmin_subset(violates, items, budget: int = 64) -> SubsetResult:
+    """1-minimal sufficient subset of ``items`` (order-preserving).
+
+    ``violates(subset)`` must hold for the full tuple.  Fast path: probe
+    each singleton — any violating singleton is immediately 1-minimal
+    (the common case for independent attack channels).  Otherwise greedy
+    leave-one-out elimination until no single removal still violates.
+    Same budget contract as :func:`ddmin_interval`.
+    """
+    items = tuple(items)
+    if not items:
+        raise ValueError("subset minimization needs at least one item")
+    budget_ = _Budget(int(budget))
+    kept = list(items)
+    exhausted = False
+
+    def test(subset) -> bool:
+        budget_.charge()
+        return bool(violates(tuple(subset)))
+
+    try:
+        if len(kept) > 1:
+            for item in items:
+                if test([item]):
+                    kept = [item]
+                    break
+        changed = len(kept) > 1
+        while changed and len(kept) > 1:
+            changed = False
+            for item in list(kept):
+                candidate = [x for x in kept if x != item]
+                if test(candidate):
+                    kept = candidate
+                    changed = True
+                    break
+    except ProbeBudgetExhausted:
+        exhausted = True
+    return SubsetResult(kept=tuple(kept), probes=budget_.used,
+                        exhausted=exhausted)
+
+
+@dataclass(frozen=True, slots=True)
+class IntensityResult:
+    """Outcome of :func:`bisect_intensity`."""
+
+    minimal: float
+    """Smallest probed magnitude that still violates."""
+    lower: float
+    """Largest probed magnitude that did not (the boundary sits between)."""
+    probes: int
+    exhausted: bool
+
+    @property
+    def boundary_width(self) -> float:
+        return self.minimal - self.lower
+
+
+def bisect_intensity(violates, hi: float, *, rel_resolution: float = 1 / 16,
+                     budget: int = 64) -> IntensityResult:
+    """1-minimize the magnitude knob toward the verdict boundary.
+
+    ``violates(hi)`` must hold.  Standard bisection keeping the upper end
+    violating, down to a boundary bracket of ``hi * rel_resolution``.
+    Magnitude-free interventions (freeze, blinding) simply converge to a
+    near-zero minimal intensity — "violates at any magnitude".
+    """
+    if hi <= 0:
+        raise ValueError("intensity must be positive")
+    budget_ = _Budget(int(budget))
+    lo = 0.0
+    resolution = hi * float(rel_resolution)
+    exhausted = False
+    try:
+        while hi - lo > resolution:
+            budget_.charge()
+            mid = 0.5 * (lo + hi)
+            if violates(mid):
+                hi = mid
+            else:
+                lo = mid
+    except ProbeBudgetExhausted:
+        exhausted = True
+    return IntensityResult(minimal=hi, lower=lo, probes=budget_.used,
+                           exhausted=exhausted)
+
+
+# ---------------------------------------------------------------------------
+# Interventions and probes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Intervention:
+    """One (possibly edited) injection configuration for a probe.
+
+    The unit the delta-debugger edits: attack/fault channel sets, a
+    shared magnitude knob, and a shared injection window.  The *original*
+    intervention reconstructs the violating run's campaigns
+    object-for-object; edits derive siblings via :meth:`with_window`,
+    :meth:`with_channels` and :meth:`with_intensity`.
+    """
+
+    attacks: tuple[str, ...] = ()
+    faults: tuple[str, ...] = ()
+    intensity: float = 1.0
+    onset: float = 15.0
+    end: float = math.inf
+
+    @staticmethod
+    def from_labels(attack: str = "none", fault: str = "none",
+                    intensity: float = 1.0, onset: float = 15.0,
+                    end: float = math.inf) -> "Intervention":
+        """Decode ``+``-joined campaign labels into an intervention."""
+        return Intervention(
+            attacks=campaign_classes(attack),
+            faults=fault_classes(fault),
+            intensity=float(intensity),
+            onset=float(onset),
+            end=float(end),
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not self.attacks and not self.faults
+
+    @property
+    def label(self) -> str:
+        parts = list(self.attacks) + list(self.faults)
+        return "+".join(parts) if parts else "none"
+
+    @property
+    def channels(self) -> tuple[tuple[str, str], ...]:
+        """Ablatable units as ``(kind, class)`` pairs."""
+        return tuple(("attack", cls) for cls in self.attacks) + tuple(
+            ("fault", cls) for cls in self.faults)
+
+    def removed(self) -> "Intervention":
+        return replace(self, attacks=(), faults=())
+
+    def with_window(self, onset: float, end: float) -> "Intervention":
+        return replace(self, onset=float(onset), end=float(end))
+
+    def with_intensity(self, intensity: float) -> "Intervention":
+        return replace(self, intensity=float(intensity))
+
+    def with_channels(self, channels) -> "Intervention":
+        """Keep only the given ``(kind, class)`` pairs (order preserved)."""
+        keep = set(channels)
+        return replace(
+            self,
+            attacks=tuple(c for c in self.attacks if ("attack", c) in keep),
+            faults=tuple(c for c in self.faults if ("fault", c) in keep),
+        )
+
+    def edit_dict(self) -> dict:
+        """Canonical JSON description — the probe cache-key component.
+
+        Every field rides in the key, so an *edited* intervention can
+        never alias the original entry or a sibling edit (the
+        key-collision regression in ``tests/test_counterfactual.py``
+        pins this).  An unbounded window serialises as ``None`` (JSON
+        has no infinity).
+        """
+        return {
+            "attacks": list(self.attacks),
+            "faults": list(self.faults),
+            "intensity": float(self.intensity),
+            "onset": float(self.onset),
+            "end": None if math.isinf(self.end) else float(self.end),
+        }
+
+    def campaigns(self) -> tuple[AttackCampaign, FaultCampaign]:
+        """Instantiate the attack and fault campaigns for this probe."""
+        attack = reparameterized_attack(
+            "+".join(self.attacks) if self.attacks else "none",
+            intensity=self.intensity, onset=self.onset, end=self.end)
+        fault = reparameterized_fault(
+            "+".join(self.faults) if self.faults else "none",
+            intensity=self.intensity, onset=self.onset, end=self.end)
+        return attack, fault
+
+
+@dataclass(frozen=True, slots=True)
+class Subject:
+    """The run under explanation: everything probes share with it."""
+
+    scenario: str
+    controller: str
+    seed: int
+    duration: float | None = None
+
+    def build_scenario(self) -> Scenario:
+        """Reconstruct the scenario exactly as the grid runner does."""
+        if self.scenario == "acc_follow":
+            scenario = acc_scenario(seed=self.seed)
+            if self.duration is not None:
+                import dataclasses
+                scenario = dataclasses.replace(scenario,
+                                               duration=self.duration)
+            return scenario
+        scenarios = standard_scenarios(seed=self.seed, duration=self.duration)
+        if self.scenario not in scenarios:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; "
+                f"expected one of {sorted(scenarios)} or 'acc_follow'")
+        return scenarios[self.scenario]
+
+
+def probe_params(subject: Subject, intervention: Intervention) -> dict:
+    """The :class:`~repro.experiments.backend.ScoredResultStore` params
+    dict for one probe: subject coordinates plus the *full* intervention
+    edit, so a modified intervention never aliases the original grid
+    entry (different key space entirely) or any sibling probe."""
+    return {
+        "kind": PROBE_KIND,
+        "scenario": subject.scenario,
+        "controller": subject.controller,
+        "seed": int(subject.seed),
+        "duration": None if subject.duration is None
+        else float(subject.duration),
+        "edit": intervention.edit_dict(),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeOutcome:
+    """One probe's verdict relative to the baseline violation signature."""
+
+    violated: bool
+    """True when the probe re-fires any of the baseline's fired assertions
+    (or, for the baseline probe itself, fires anything at all)."""
+    fired: tuple[str, ...]
+    evidence: dict[str, float]
+    margins: dict[str, float]
+    """Worst normalized margin per assertion (negative = violated)."""
+    report: CheckReport
+    result: RunResult
+    source: str
+    """``"memo"`` / ``"disk"`` (cache layers) or ``"sim"`` (fresh run)."""
+
+
+class ProbeEngine:
+    """Executes counterfactual probes with budget and cache accounting.
+
+    Every probe — cached or fresh — counts against the budget, so the
+    explanation a given budget produces is deterministic regardless of
+    cache temperature.  All execution funnels through the params-keyed
+    :class:`~repro.experiments.backend.ScoredResultStore`
+    (:func:`~repro.experiments.runner.scored_store`), which is what makes
+    probes cached, shardable and exactly-once; per-probe memo/disk hits
+    accumulate into one :class:`~repro.experiments.stats.GridStats`
+    record (visible via ``--stats``).
+    """
+
+    def __init__(self, subject: Subject, budget: int = DEFAULT_BUDGET,
+                 sim_engine: str | None = None):
+        from repro.experiments.runner import resolve_sim_engine, scored_store
+        self.subject = subject
+        self.budget = _Budget(int(budget))
+        self.sim_engine = resolve_sim_engine(sim_engine)
+        self.store = scored_store()
+        self.baseline_fired: frozenset[str] = frozenset()
+        self.flipped = 0
+        self.stats = GridStats(workers=1)
+        self.stats.sim_engine = self.sim_engine
+
+    @property
+    def remaining(self) -> int:
+        return self.budget.remaining
+
+    @property
+    def probes(self) -> int:
+        return self.budget.used
+
+    # -- execution ------------------------------------------------------
+    def _simulate(self, intervention: Intervention) -> RunResult:
+        scenario = self.subject.build_scenario()
+        attack, faults = intervention.campaigns()
+        return run_scenario(scenario, controller=self.subject.controller,
+                            campaign=attack, faults=faults)
+
+    def _resolve_or_run(self, intervention: Intervention):
+        import time
+
+        from repro.core.checker import check_trace
+        params = probe_params(self.subject, intervention)
+        hit = self.store.resolve(params)
+        if hit is not None:
+            (result, report), source = hit
+            if source == "memo":
+                self.stats.memo_hits += 1
+            else:
+                self.stats.disk_hits += 1
+            return result, report, source
+        t0 = time.perf_counter()
+        result = self._simulate(intervention)
+        t1 = time.perf_counter()
+        report = check_trace(result.trace)
+        t2 = time.perf_counter()
+        self.store.commit(params, (result, report))
+        self.stats.executed += 1
+        self.stats.phase_time["simulate"] += t1 - t0
+        self.stats.phase_time["check"] += t2 - t1
+        return result, report, "sim"
+
+    def prefetch(self, interventions) -> int:
+        """Batch-simulate uncached probes through the lockstep engine.
+
+        Only active with ``sim_engine="batch"``; an optimization, not a
+        semantic: results are bit-identical to the serial path (the
+        differential suite pins this), so prefetching never changes an
+        explanation — and it charges no budget (the later
+        :meth:`outcome` calls do).  Returns the number of lanes batched.
+        Any engine rejection falls back silently to per-probe serial
+        simulation.
+        """
+        if self.sim_engine != "batch":
+            return 0
+        from repro.core.checker import check_trace
+        from repro.sim.batch import LaneSpec, run_batch
+        pending: list[tuple[dict, Intervention]] = []
+        for intervention in interventions:
+            params = probe_params(self.subject, intervention)
+            if self.store.resolve(params) is None:
+                pending.append((params, intervention))
+        if len(pending) < 2:
+            return 0
+        from repro.control.acc import AccController
+        from repro.control.base import make_lateral_controller
+        from repro.control.follower import SpeedProfile, WaypointFollower
+        scenario = self.subject.build_scenario()
+        specs = []
+        for _, intervention in pending:
+            attack, faults = intervention.campaigns()
+            follower = WaypointFollower(
+                make_lateral_controller(self.subject.controller),
+                profile=SpeedProfile(cruise_speed=scenario.cruise_speed),
+                acc=AccController() if scenario.lead is not None else None,
+            )
+            specs.append(LaneSpec(scenario=scenario, follower=follower,
+                                  campaign=attack, faults=faults))
+        try:
+            results = run_batch(specs)
+        except Exception:
+            self.stats.batch_fallbacks += 1
+            return 0
+        for (params, _), result in zip(pending, results):
+            report = check_trace(result.trace)
+            self.store.commit(params, (result, report))
+        self.stats.batch_groups += 1
+        self.stats.batch_points += len(pending)
+        self.stats.executed += len(pending)
+        return len(pending)
+
+    def outcome(self, intervention: Intervention) -> ProbeOutcome:
+        """Run one probe (budget-charged) and score it against the
+        baseline violation signature."""
+        self.budget.charge()
+        result, report, source = self._resolve_or_run(intervention)
+        fired = tuple(report.fired_ids)
+        if self.baseline_fired:
+            violated = bool(self.baseline_fired & set(fired))
+        else:
+            violated = report.any_fired
+        if not violated:
+            self.flipped += 1
+        margins = {aid: s.worst_margin
+                   for aid, s in report.summaries.items()}
+        return ProbeOutcome(violated=violated, fired=fired,
+                            evidence=report.evidence(), margins=margins,
+                            report=report, result=result, source=source)
+
+    def violates(self, intervention: Intervention) -> bool:
+        return self.outcome(intervention).violated
+
+    def record_stats(self) -> None:
+        """Report this engine's accumulated counters into
+        :data:`~repro.experiments.stats.STATS` (one record per
+        explanation, like one ``run_grid`` call)."""
+        self.stats.grid_points = self.probes
+        STATS.record(self.stats)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis testing: tie-break + separation-gap detection
+# ---------------------------------------------------------------------------
+
+def evidence_distance(a: dict[str, float], b: dict[str, float]) -> float:
+    """L1 distance between two assertion-strength signatures."""
+    keys = set(a) | set(b)
+    return float(sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys))
+
+
+@dataclass(frozen=True, slots=True)
+class TiebreakResult:
+    """Outcome of counterfactually re-ranking an ambiguous diagnosis."""
+
+    candidates: tuple[str, ...]
+    """Probed causes, in original ranking order."""
+    distances: dict[str, float]
+    """Per-candidate L1 distance between the observed signature and the
+    signature the candidate actually produces when re-simulated."""
+    diagnosis: DiagnosisResult
+    """The re-ranked diagnosis (head re-ordered by distance)."""
+
+    @property
+    def chosen(self) -> str:
+        return self.diagnosis.top().cause
+
+
+@dataclass(frozen=True, slots=True)
+class SeparationGap:
+    """A cause pair no counterfactual separates under the current catalog.
+
+    The automated version of the paper's refinement trigger: when the
+    top candidates' *re-simulated* signatures are nearly identical, no
+    amount of probing can tell them apart — the assertion catalog lacks
+    a separating assertion.  ``proposed`` names the assertion signature
+    that would separate them (from the knowledge-base profiles where the
+    causes differ most, falling back to a channel-consistency
+    suggestion); E9's gap-proposal addendum surfaces these.
+    """
+
+    causes: tuple[str, str]
+    separation: float
+    """L1 distance between the two candidates' simulated signatures."""
+    distances: dict[str, float]
+    """Each candidate's distance to the *observed* signature."""
+    proposed: tuple[str, ...]
+    """Assertion ids (or a new-assertion suggestion) that would separate."""
+
+    @property
+    def separable(self) -> bool:
+        return self.separation >= GAP_SEPARATION
+
+
+def _propose_separators(cause_a: str, cause_b: str,
+                        signatures: dict[str, dict[str, float]],
+                        kb: KnowledgeBase) -> tuple[str, ...]:
+    """Assertion ids that would separate two confusable causes.
+
+    Preference order: assertions whose *simulated* strengths differ most
+    (real separators if any simulation disagreement exists at all), then
+    knowledge-base profile entries with the largest fire-probability gap,
+    then — when both are flat — a suggestion to author a new cross-channel
+    consistency assertion."""
+    sim_a, sim_b = signatures.get(cause_a, {}), signatures.get(cause_b, {})
+    diffs = sorted(
+        ((abs(sim_a.get(k, 0.0) - sim_b.get(k, 0.0)), k)
+         for k in set(sim_a) | set(sim_b)),
+        reverse=True,
+    )
+    proposed = [k for d, k in diffs[:3] if d >= 0.05]
+    if proposed:
+        return tuple(proposed)
+    try:
+        prof_a, prof_b = kb.profile(cause_a), kb.profile(cause_b)
+    except KeyError:
+        prof_a = prof_b = None
+    if prof_a is not None and prof_b is not None:
+        keys = set(prof_a.fire_probs) | set(prof_b.fire_probs)
+        gaps = sorted(((abs(prof_a.prob(k) - prof_b.prob(k)), k)
+                       for k in keys), reverse=True)
+        proposed = [k for g, k in gaps[:3] if g >= 0.25]
+        if proposed:
+            return tuple(proposed)
+    chan_a = cause_a.split("_", 1)[0]
+    chan_b = cause_b.split("_", 1)[0]
+    return (f"new: {chan_a}-vs-{chan_b} cross-channel consistency",)
+
+
+def detect_separation_gap(engine: ProbeEngine, observed: dict[str, float],
+                          candidates, base: Intervention,
+                          kb: KnowledgeBase | None = None,
+                          ) -> tuple[dict[str, dict[str, float]],
+                                     dict[str, float], SeparationGap | None]:
+    """Simulate each candidate cause and measure whether anything separates.
+
+    For every candidate attack class, probes the *hypothesis* "this cause
+    alone, at the observed window and magnitude" and collects its
+    signature.  Returns the signatures, each candidate's distance to the
+    observed signature, and a :class:`SeparationGap` when the top two
+    candidates' simulated signatures are closer than
+    :data:`GAP_SEPARATION` (else ``None``).
+    """
+    kb = kb or default_knowledge_base()
+    candidates = [c for c in candidates if c in ATTACK_CLASSES]
+    hypotheses = {
+        cause: Intervention(attacks=(cause,), intensity=base.intensity,
+                            onset=base.onset, end=base.end)
+        for cause in candidates
+    }
+    engine.prefetch(hypotheses.values())
+    signatures: dict[str, dict[str, float]] = {}
+    distances: dict[str, float] = {}
+    for cause, hypothesis in hypotheses.items():
+        if engine.remaining <= 0:
+            break
+        out = engine.outcome(hypothesis)
+        signatures[cause] = out.evidence
+        distances[cause] = evidence_distance(observed, out.evidence)
+    gap = None
+    probed = [c for c in candidates if c in signatures]
+    if len(probed) >= 2:
+        a, b = probed[0], probed[1]
+        separation = evidence_distance(signatures[a], signatures[b])
+        if separation < GAP_SEPARATION:
+            gap = SeparationGap(
+                causes=(a, b), separation=separation,
+                distances={a: distances[a], b: distances[b]},
+                proposed=_propose_separators(a, b, signatures, kb),
+            )
+    return signatures, distances, gap
+
+
+def counterfactual_tiebreak(run, onset: float | None = None,
+                            duration: float | None = None,
+                            kb: KnowledgeBase | None = None,
+                            top_k: int = 2, budget: int = 12,
+                            sim_engine: str | None = None,
+                            ) -> tuple[DiagnosisResult, SeparationGap | None]:
+    """Counterfactually re-rank an ambiguous grid run's diagnosis.
+
+    E4's escape hatch: when the knowledge-base ranking is not
+    :attr:`~repro.core.diagnosis.DiagnosisResult.confident`, re-simulate
+    each head candidate as a hypothesis and prefer the one whose actual
+    signature lies closest to the observed evidence
+    (:func:`~repro.core.diagnosis.apply_tiebreak`).  Returns the
+    (possibly re-ranked) diagnosis plus a :class:`SeparationGap` when no
+    counterfactual separates the candidates.
+
+    Args:
+        run: a :class:`~repro.experiments.runner.GridRun`.
+        onset: injection onset; defaults to the trace's recorded
+            ground-truth onset.
+        duration: the grid's duration override, if any (must match the
+            original run for probes to share its configuration).
+    """
+    diagnosis = run.diagnosis
+    if not diagnosis.ambiguous:
+        return diagnosis, None
+    if onset is None:
+        onset = run.result.trace.attack_onset()
+    if onset is None:
+        return diagnosis, None
+    subject = Subject(scenario=run.scenario, controller=run.controller,
+                      seed=run.seed, duration=duration)
+    base = Intervention(attacks=campaign_classes(run.attack),
+                        intensity=run.intensity, onset=float(onset))
+    engine = ProbeEngine(subject, budget=budget, sim_engine=sim_engine)
+    engine.baseline_fired = frozenset(
+        s.assertion_id for s in run.report.summaries.values() if s.fired)
+    candidates = [d.cause for d in diagnosis.ranking[:top_k]]
+    try:
+        _, distances, gap = detect_separation_gap(
+            engine, run.report.evidence(), candidates, base, kb=kb)
+    finally:
+        engine.record_stats()
+    return apply_tiebreak(diagnosis, distances), gap
+
+
+# ---------------------------------------------------------------------------
+# The explain driver
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class WindowSummary:
+    """Minimal violating injection window, in seconds."""
+
+    start: float
+    end: float
+    original_start: float
+    original_end: float
+    resolution: float
+    probes: int
+    minimal: bool
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelSummary:
+    """Minimal sufficient channel set of a composed intervention."""
+
+    kept: tuple[tuple[str, str], ...]
+    dropped: tuple[tuple[str, str], ...]
+    probes: int
+    minimal: bool
+
+
+@dataclass(frozen=True, slots=True)
+class MagnitudeSummary:
+    """Minimal violating magnitude (verdict-boundary bracket)."""
+
+    minimal: float
+    lower: float
+    original: float
+    probes: int
+    exhausted: bool
+
+
+@dataclass(slots=True)
+class CausalReport:
+    """Ranked causal explanation of one violating run.
+
+    The deliverable of :func:`explain`: the smallest intervention that
+    still flips the verdict, per-assertion margin deltas between the
+    violating run and its attack-free counterfactual, and a confidence
+    derived from how many probes actually flipped the verdict (each flip
+    is an independent confirmation that the boundary is where the report
+    says it is: confidence = 1 − 2^−flips, and 0 whenever necessity
+    itself failed).
+    """
+
+    subject: Subject
+    intervention: Intervention
+    violated: bool
+    fired: tuple[str, ...] = ()
+    background: tuple[str, ...] = ()
+    """Assertions that fire even with the intervention removed (scenario
+    noise, e.g. truncation tripping a liveness check) — excluded from the
+    signature under explanation."""
+    necessary: bool = False
+    """Removing the intervention clears every *attributable* violation
+    (fired minus background)."""
+    minimal: Intervention | None = None
+    """The composed minimal intervention (window ∧ channels ∧ magnitude)."""
+    minimal_verified: bool = False
+    """The composed minimal intervention was re-probed and still violates."""
+    window: WindowSummary | None = None
+    channels: ChannelSummary | None = None
+    magnitude: MagnitudeSummary | None = None
+    margin_deltas: dict[str, tuple[float, float]] = field(default_factory=dict)
+    """assertion id -> (margin with intervention, margin without)."""
+    diagnosis: DiagnosisResult | None = None
+    tiebreak: TiebreakResult | None = None
+    gap: SeparationGap | None = None
+    probes: int = 0
+    flipped: int = 0
+    budget: int = DEFAULT_BUDGET
+    budget_exhausted: bool = False
+
+    @property
+    def confidence(self) -> float:
+        if not self.necessary:
+            return 0.0
+        return 1.0 - 0.5 ** self.flipped
+
+    @property
+    def isolated(self) -> bool:
+        """A minimal intervention was isolated and verified: necessity
+        confirmed, and every search that ran completed within budget."""
+        if not (self.violated and self.necessary):
+            return False
+        for search in (self.window, self.channels):
+            if search is not None and not search.minimal:
+                return False
+        if self.magnitude is not None and self.magnitude.exhausted:
+            return False
+        if self.minimal is not None and not self.minimal_verified:
+            return False
+        return True
+
+    def render(self) -> str:
+        from repro.core.report import render_causal_report
+        return render_causal_report(self)
+
+
+def explain(
+    scenario: str,
+    controller: str,
+    attack: str = "none",
+    fault: str = "none",
+    intensity: float = 1.0,
+    onset: float = 15.0,
+    seed: int = 7,
+    duration: float | None = None,
+    budget: int = DEFAULT_BUDGET,
+    resolution: float = DEFAULT_RESOLUTION,
+    sim_engine: str | None = None,
+    kb: KnowledgeBase | None = None,
+) -> CausalReport:
+    """Counterfactually isolate the minimal intervention behind a run.
+
+    The four searches, in order (each only spends budget the previous
+    ones left):
+
+    (a) **necessity** — re-simulate with the intervention removed; the
+        explanation is causal only if that clears the violation;
+    (b) **window** — ddmin the injection window to a 1-minimal violating
+        interval at ``resolution``-second granularity;
+    (c) **channels** — ablate composed attack/fault channel sets to the
+        minimal sufficient subset;
+    (d) **magnitude** — bisect the intensity knob to the verdict boundary.
+
+    The composed minimal intervention is then re-probed once to verify
+    the axes compose.  When the diagnosis of the violating run is
+    ambiguous, the hypothesis tester re-ranks its head and looks for a
+    separation gap (see :func:`counterfactual_tiebreak`).
+
+    All probes run through the shared result store; `budget` counts every
+    probe, cached or not, so the report is cache-independent.
+    """
+    subject = Subject(scenario=scenario, controller=controller,
+                      seed=int(seed), duration=duration)
+    original = Intervention.from_labels(attack, fault, intensity=intensity,
+                                        onset=onset)
+    engine = ProbeEngine(subject, budget=budget, sim_engine=sim_engine)
+    report = CausalReport(subject=subject, intervention=original,
+                          violated=False, budget=budget)
+    try:
+        base = engine.outcome(original)
+        report.fired = base.fired
+        report.violated = bool(base.fired)
+        report.diagnosis = diagnose(base.report, kb)
+        if not report.violated or original.empty:
+            return report
+        engine.baseline_fired = frozenset(base.fired)
+
+        # (a) necessity + margin deltas against the clean counterfactual.
+        # Assertions that fire even with the intervention removed are
+        # *background* (e.g. a truncated scenario tripping a liveness
+        # check) — they are subtracted from the signature under
+        # explanation, and every later probe is scored against the
+        # attributable remainder only.
+        clean = engine.outcome(original.removed())
+        background = frozenset(base.fired) & frozenset(clean.fired)
+        attributable = frozenset(base.fired) - background
+        report.background = tuple(
+            aid for aid in base.fired if aid in background)
+        report.necessary = bool(attributable)
+        engine.baseline_fired = attributable
+        if attributable and clean.violated:
+            # The clean probe was scored against the full baseline (the
+            # attributable set did not exist yet); it did clear the
+            # attributable signature, so it counts as a flip.
+            engine.flipped += 1
+        report.margin_deltas = {
+            aid: (base.margins.get(aid, 0.0), clean.margins.get(aid, 0.0))
+            for aid in base.fired if aid in attributable
+        }
+        if not report.necessary:
+            return report
+
+        scenario_obj = subject.build_scenario()
+        end_eff = min(original.end, scenario_obj.duration)
+
+        # (b) window ddmin over [onset, end_eff) at `resolution` steps.
+        window_res = None
+        span = end_eff - original.onset
+        if span > 0 and engine.remaining > 0:
+            n = max(int(math.ceil(span / resolution - 1e-9)), 1)
+
+            def window_time(i: int) -> float:
+                # The last cell absorbs the sub-resolution remainder.
+                return end_eff if i >= n else original.onset + i * resolution
+
+            def window_violates(a: int, b: int) -> bool:
+                return engine.violates(
+                    original.with_window(window_time(a), window_time(b)))
+
+            window_res = ddmin_interval(window_violates, n, budget=10 ** 9)
+            report.window = WindowSummary(
+                start=window_time(window_res.lo),
+                end=window_time(window_res.hi),
+                original_start=original.onset,
+                original_end=end_eff,
+                resolution=resolution,
+                probes=window_res.probes,
+                minimal=window_res.minimal,
+            )
+
+        # (c) channel ablation for composed interventions.
+        channel_res = None
+        parts = original.channels
+        if len(parts) > 1 and engine.remaining > 0:
+
+            def subset_violates(subset) -> bool:
+                return engine.violates(original.with_channels(subset))
+
+            channel_res = ddmin_subset(subset_violates, parts, budget=10 ** 9)
+            report.channels = ChannelSummary(
+                kept=channel_res.kept,
+                dropped=tuple(p for p in parts if p not in channel_res.kept),
+                probes=channel_res.probes,
+                minimal=channel_res.minimal,
+            )
+
+        # (d) magnitude 1-minimization toward the verdict boundary.
+        magnitude_res = None
+        if engine.remaining > 0:
+
+            def intensity_violates(x: float) -> bool:
+                return engine.violates(original.with_intensity(x))
+
+            magnitude_res = bisect_intensity(
+                intensity_violates, original.intensity, budget=10 ** 9)
+            report.magnitude = MagnitudeSummary(
+                minimal=magnitude_res.minimal,
+                lower=magnitude_res.lower,
+                original=original.intensity,
+                probes=magnitude_res.probes,
+                exhausted=magnitude_res.exhausted,
+            )
+
+        # Compose the minimal intervention and verify the axes compose.
+        minimal = original
+        if channel_res is not None:
+            minimal = minimal.with_channels(channel_res.kept)
+        if window_res is not None and report.window is not None:
+            minimal = minimal.with_window(report.window.start,
+                                          report.window.end)
+        if magnitude_res is not None and not magnitude_res.exhausted:
+            minimal = minimal.with_intensity(magnitude_res.minimal)
+        report.minimal = minimal
+        if minimal == original:
+            report.minimal_verified = True
+        elif engine.remaining > 0:
+            verify = engine.outcome(minimal)
+            report.minimal_verified = verify.violated
+            if not verify.violated:
+                # Non-monotone interaction: the per-axis minima do not
+                # compose.  Fall back to the least aggressive composition
+                # (window-only) — still a true minimal-window statement.
+                fallback = original
+                if window_res is not None and report.window is not None:
+                    fallback = original.with_window(report.window.start,
+                                                    report.window.end)
+                report.minimal = fallback
+                if engine.remaining > 0 and fallback != original:
+                    report.minimal_verified = engine.violates(fallback)
+
+        # Hypothesis testing when the diagnosis stays ambiguous.
+        if (report.diagnosis is not None and report.diagnosis.ambiguous
+                and engine.remaining >= 2):
+            candidates = [d.cause for d in report.diagnosis.ranking[:2]]
+            _, distances, gap = detect_separation_gap(
+                engine, base.evidence, candidates, original, kb=kb)
+            if distances:
+                report.tiebreak = TiebreakResult(
+                    candidates=tuple(c for c in candidates
+                                     if c in distances),
+                    distances=distances,
+                    diagnosis=apply_tiebreak(report.diagnosis, distances),
+                )
+            report.gap = gap
+        return report
+    finally:
+        report.probes = engine.probes
+        report.flipped = engine.flipped
+        report.budget_exhausted = engine.remaining <= 0
+        engine.record_stats()
+
+
+_CACHE_KEY_RE = re.compile(r"^[0-9a-f]{40}$")
+
+
+def resolve_cache_key(key: str):
+    """Map a 40-hex run-cache key back to its grid point, if known.
+
+    Scans the cache's checkpoint manifests (each records the full point
+    list of a campaign) and returns the first point whose
+    :func:`~repro.experiments.cache.cache_key` matches.  Returns ``None``
+    when the key matches no manifested point — off-grid entries (probe
+    results, ``run_scored`` configurations) are not reverse-mappable.
+    """
+    if not _CACHE_KEY_RE.match(key):
+        raise ValueError(f"{key!r} is not a 40-hex cache key")
+    import json
+
+    from repro.experiments.cache import RunCache, cache_key
+    cache = RunCache.from_env()
+    if cache is None:
+        return None
+    checkpoint_dir = cache.root / "checkpoints"
+    if not checkpoint_dir.is_dir():
+        return None
+    for manifest_path in sorted(checkpoint_dir.glob("*.json")):
+        try:
+            data = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        for entry in data.get("completed", []):
+            point = tuple(entry)
+            try:
+                if cache_key(*point) == key:
+                    return point
+            except (TypeError, ValueError):
+                continue
+    return None

@@ -5,6 +5,13 @@ the assertion evidence; this table scores top-1 and top-2 accuracy against
 the injected ground truth, per attack class.  Expected shape: high top-1
 overall, with residual confusion concentrated in attack pairs that share
 channel signatures.
+
+With ``counterfactual=True``, ambiguous rankings (top cause not
+confidently separated from the runner-up) are re-tested by simulating
+each head candidate as a hypothesis and preferring the one whose actual
+signature matches the observed evidence
+(:func:`~repro.experiments.counterfactual.counterfactual_tiebreak`) —
+the causal layer acting as E4's tie-breaker.
 """
 
 from __future__ import annotations
@@ -17,7 +24,9 @@ __all__ = ["build_diagnosis_accuracy"]
 
 
 def build_diagnosis_accuracy(config: ExperimentConfig | None = None,
-                             workers: int | None = None) -> Table:
+                             workers: int | None = None,
+                             counterfactual: bool = False,
+                             probe_budget: int = 8) -> Table:
     """Per-attack top-1/top-2 diagnosis accuracy plus common confusion."""
     config = config or ExperimentConfig.full()
     scenarios = (config.scenario,) + tuple(config.trace_scenarios[:1])
@@ -30,6 +39,20 @@ def build_diagnosis_accuracy(config: ExperimentConfig | None = None,
         duration=config.duration,
         workers=workers,
     )
+
+    tiebreaks = 0
+    diagnoses = {}
+    for run in runs:
+        diagnosis = run.diagnosis
+        if counterfactual and diagnosis.ambiguous:
+            from repro.experiments.counterfactual import (
+                counterfactual_tiebreak,
+            )
+            diagnosis, _gap = counterfactual_tiebreak(
+                run, onset=config.attack_onset, duration=config.duration,
+                budget=probe_budget)
+            tiebreaks += 1
+        diagnoses[id(run)] = diagnosis
 
     table = Table(
         title="Table 3 (E4): root-cause diagnosis accuracy "
@@ -50,14 +73,15 @@ def build_diagnosis_accuracy(config: ExperimentConfig | None = None,
         posteriors = []
         confusions: list[str] = []
         for run in group:
-            rank = run.diagnosis.rank_of(attack)
+            diagnosis = diagnoses[id(run)]
+            rank = diagnosis.rank_of(attack)
             if rank == 1:
                 top1 += 1
             else:
-                confusions.append(run.diagnosis.top().cause)
+                confusions.append(diagnosis.top().cause)
             if rank is not None and rank <= 2:
                 top2 += 1
-            for d in run.diagnosis.ranking:
+            for d in diagnosis.ranking:
                 if d.cause == attack:
                     posteriors.append(d.posterior)
                     break
@@ -79,6 +103,10 @@ def build_diagnosis_accuracy(config: ExperimentConfig | None = None,
         f"{total_top2}/{total_runs} ({100.0 * total_top2 / total_runs:.0f}%)",
         "-", "-",
     )
+    if counterfactual:
+        table.add_note(
+            f"counterfactual tie-break applied to {tiebreaks} ambiguous "
+            "run(s) (see docs/counterfactual.md)")
     return table
 
 

@@ -13,12 +13,20 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_grid
 from repro.experiments.tables import Table
 
-__all__ = ["build_refinement_loop"]
+__all__ = ["build_gap_proposals", "build_refinement_loop"]
 
 
 def build_refinement_loop(config: ExperimentConfig | None = None,
-                          workers: int | None = None) -> Table:
-    """Gap counts per methodology iteration (staged catalog growth)."""
+                          workers: int | None = None,
+                          propose_gaps: bool = False):
+    """Gap counts per methodology iteration (staged catalog growth).
+
+    With ``propose_gaps=True``, returns ``[loop_table, proposals_table]``:
+    the second table runs the counterfactual separation-gap detector over
+    the cases that stay ambiguous after the final iteration, automating
+    the "author a separating assertion" step the loop otherwise leaves to
+    a human (see :func:`build_gap_proposals`).
+    """
     config = config or ExperimentConfig.full()
     runs = run_grid(
         scenarios=(config.scenario,),
@@ -52,6 +60,49 @@ def build_refinement_loop(config: ExperimentConfig | None = None,
         )
     table.add_note("undiagnosed = undetected OR wrongly ranked root cause; "
                    "stages accumulate left to right.")
+    if not propose_gaps:
+        return table
+    proposals = build_gap_proposals(config, runs, iterations[-1])
+    return [table, proposals]
+
+
+def build_gap_proposals(config: ExperimentConfig, runs,
+                        final_iteration) -> Table:
+    """E9 addendum: counterfactual separation gaps after the last stage.
+
+    For every case still ambiguous under the full catalog, the
+    counterfactual tie-breaker re-simulates the confused cause pair; when
+    even the simulated signatures fail to separate
+    (:class:`~repro.experiments.counterfactual.SeparationGap`), the case
+    is a genuine catalog gap and the proposed separating assertions are
+    the refinement loop's next authoring targets.
+    """
+    from repro.experiments.counterfactual import counterfactual_tiebreak
+
+    table = Table(
+        title="E9 addendum: counterfactual separation of remaining "
+              "ambiguous cases",
+        columns=["true cause", "confused with", "re-ranked top",
+                 "separable", "proposed separating assertions"],
+    )
+    # runs and final_iteration.gaps are corpus-aligned (one gap per case).
+    for run, gap_info in zip(runs, final_iteration.gaps):
+        if not gap_info.ambiguous:
+            continue
+        diagnosis, gap = counterfactual_tiebreak(
+            run, onset=config.attack_onset, duration=config.duration)
+        table.add_row(
+            gap_info.true_cause,
+            gap_info.top_cause,
+            diagnosis.top().cause,
+            "no — GAP" if gap is not None else "yes",
+            ", ".join(gap.proposed) if gap is not None else "-",
+        )
+    if not table.rows:
+        table.add_note("no case stayed ambiguous after the final stage")
+    table.add_note("a non-separable pair means the catalog lacks a "
+                   "distinguishing assertion even under re-simulation; "
+                   "proposals feed the next refinement iteration.")
     return table
 
 

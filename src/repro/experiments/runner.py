@@ -54,7 +54,6 @@ survive one sick point, one dead worker, or one dead *host*.  Concretely,
 
 from __future__ import annotations
 
-import json
 import os
 import time
 import warnings
@@ -73,15 +72,11 @@ from repro.experiments.backend import (
     BatchExecutor,
     CacheResultStore,
     PoolExecutor,
+    ScoredResultStore,
     SerialExecutor,
     build_grid,
 )
-from repro.experiments.cache import (
-    CheckpointManifest,
-    RunCache,
-    cache_key,
-    cache_key_params,
-)
+from repro.experiments.cache import CheckpointManifest, RunCache
 from repro.experiments.stats import STATS, GridStats
 from repro.sim.batch import LaneSpec, run_batch
 from repro.sim.engine import RunResult, run_scenario
@@ -91,6 +86,7 @@ __all__ = [
     "GridRun",
     "run_grid",
     "run_scored",
+    "scored_store",
     "clear_cache",
     "resolve_executor",
     "resolve_sim_engine",
@@ -407,13 +403,26 @@ def _execute_chunk(points: list[tuple]) -> list[tuple]:
     return out
 
 
+def scored_store() -> ScoredResultStore:
+    """The process-wide params-keyed result store (memo + disk cache).
+
+    Every off-grid run — the E10-E13 extension configurations and the
+    counterfactual probes — resolves and commits through this store, so
+    probe cache hits show up in :data:`~repro.experiments.stats.STATS`
+    exactly like grid hits do.
+    """
+    return ScoredResultStore(RunCache.from_env(), _memo_get, _memo_put)
+
+
 def run_scored(params: dict, simulate) -> tuple[RunResult, CheckReport]:
     """Cached execution of one *off-grid* closed-loop run.
 
     The extension experiments (E10-E13) run configurations the cartesian
     grid cannot express — gated estimators, concurrent attack pairs,
     injected controller defects, the car-following scenario.  This routes
-    them through the same two cache layers as :func:`run_grid`.
+    them through the same
+    :class:`~repro.experiments.backend.ScoredResultStore` layers as
+    :func:`run_grid` uses for grid points.
 
     Args:
         params: JSON-serializable dict that uniquely determines the run;
@@ -431,37 +440,26 @@ def run_scored(params: dict, simulate) -> tuple[RunResult, CheckReport]:
     """
     wall_start = time.perf_counter()
     stats = GridStats(workers=1, grid_points=1)
-    memo_key = ("scored",
-                json.dumps(params, sort_keys=True, separators=(",", ":")))
-    cached = _MEMO.get(memo_key)
-    if cached is not None:
-        _MEMO.move_to_end(memo_key)
-        stats.memo_hits = 1
+    store = scored_store()
+    hit = store.resolve(params)
+    if hit is not None:
+        pair, source = hit
+        if source == "memo":
+            stats.memo_hits = 1
+        else:
+            stats.disk_hits = 1
         stats.wall_time = time.perf_counter() - wall_start
         STATS.record(stats)
-        return cached
-
-    cache = RunCache.from_env()
-    key = cache_key_params(params) if cache is not None else None
-    if cache is not None:
-        entry = cache.load(key)
-        if entry is not None:
-            result, report, _ = entry
-            _memo_put(memo_key, (result, report))
-            stats.disk_hits = 1
-            stats.wall_time = time.perf_counter() - wall_start
-            STATS.record(stats)
-            return result, report
+        return pair
 
     t0 = time.perf_counter()
     result = simulate()
     t1 = time.perf_counter()
     report = check_trace(result.trace)
     t2 = time.perf_counter()
-    _memo_put(memo_key, (result, report))
-    if cache is not None:
-        cache.store(key, result, report, None)
-        stats.disk_errors = cache.counters.errors
+    store.commit(params, (result, report))
+    if store.cache is not None:
+        stats.disk_errors = store.cache.counters.errors
     stats.executed = 1
     stats.phase_time["simulate"] = t1 - t0
     stats.phase_time["check"] = t2 - t1

@@ -19,7 +19,9 @@ from repro.faults.models import Dropout, Freeze, Intermittent, Latency, NaNBurst
 __all__ = [
     "FaultCampaign",
     "FAULT_CLASSES",
+    "fault_classes",
     "make_fault",
+    "reparameterized_fault",
     "standard_fault",
     "combined_fault",
 ]
@@ -130,6 +132,58 @@ def standard_fault(
         label=fault_class,
         faults=[make_fault(fault_class, intensity=intensity, onset=onset,
                            end=end)],
+    )
+
+
+def fault_classes(label: str) -> tuple[str, ...]:
+    """Fault class names encoded in a campaign label (``"a+b"`` → ``(a, b)``).
+
+    Mirror of :func:`repro.attacks.campaign.campaign_classes` for the
+    benign-fault axis; the counterfactual ablation uses it to decompose a
+    composed fault campaign back into its channels.
+    """
+    if label in ("", "none"):
+        return ()
+    classes = tuple(part for part in label.split("+") if part)
+    for cls in classes:
+        if cls not in FAULT_CLASSES:
+            raise ValueError(
+                f"unknown fault class {cls!r} in campaign label {label!r}; "
+                f"expected classes from {sorted(FAULT_CLASSES)}"
+            )
+    return classes
+
+
+def reparameterized_fault(
+    label: str,
+    intensity: float = 1.0,
+    onset: float = _DEFAULT_ONSET,
+    end: float = float("inf"),
+    classes: tuple[str, ...] | list[str] | None = None,
+) -> FaultCampaign:
+    """Rebuild a standard/combined fault campaign with an edited window,
+    magnitude or channel subset — the counterfactual probe hook.
+
+    Mirror of :func:`repro.attacks.campaign.reparameterized_attack`; with
+    the label's own parameters it reconstructs the original campaign
+    object-for-object.
+    """
+    base = fault_classes(label)
+    if classes is not None:
+        keep = set(classes)
+        unknown = keep - set(base)
+        if unknown:
+            raise ValueError(
+                f"classes {sorted(unknown)} are not part of campaign "
+                f"{label!r} (classes: {list(base)})"
+            )
+        base = tuple(cls for cls in base if cls in keep)
+    if not base:
+        return FaultCampaign.none()
+    return FaultCampaign(
+        label="+".join(base),
+        faults=[make_fault(cls, intensity=intensity, onset=onset, end=end)
+                for cls in base],
     )
 
 

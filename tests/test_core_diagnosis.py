@@ -147,3 +147,132 @@ class TestDiagnoseMulti:
         report = report_with_evidence({"A1": 0.9, "A2": 0.9, "A3": 0.4})
         multi = diagnose_multi(report, toy_kb())
         assert multi.causes[0].cause == "fault_a"
+
+    def test_overlapping_profiles_do_not_double_count(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        # fault_a (A1+A2) and fault_c (A1) overlap on A1.  With only
+        # A1+A2 fired, accepting fault_a must consume *both* assertions;
+        # the loop must not then also accept fault_c for the already
+        # explained A1.
+        report = report_with_evidence({"A1": 0.9, "A2": 0.9})
+        multi = diagnose_multi(report, toy_kb())
+        assert multi.cause_set == {"fault_a"}
+        assert "fault_c" not in multi.cause_set
+
+    def test_overlap_plus_disjoint_evidence(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        # Overlapping profiles with extra disjoint evidence: A1+A2+A3.
+        # fault_a explains A1+A2, fault_b the residual A3 — fault_c
+        # (subset of
+        # fault_a's signature) must stay out of the explanation.
+        report = report_with_evidence({"A1": 0.9, "A2": 0.9, "A3": 0.9})
+        multi = diagnose_multi(report, toy_kb())
+        assert "fault_c" not in multi.cause_set
+        assert multi.cause_set == {"fault_a", "fault_b"}
+
+    def test_empty_ranking_inputs(self):
+        from repro.core.diagnosis import diagnose_multi
+
+        # A report whose summaries are all silent is not an error; the
+        # residual is the (all-weak) evidence map itself.
+        report = report_with_evidence({})
+        multi = diagnose_multi(report, toy_kb())
+        assert multi.causes == []
+        assert multi.rounds == []
+        assert all(s < 0.12 for s in multi.residual_evidence.values())
+
+    def test_tied_scores_break_deterministically(self):
+        from repro.core.diagnosis import diagnose
+
+        # Two causes with *identical* profiles score identically; the
+        # ranking must still be deterministic (alphabetical on ties),
+        # not dict-insertion-order of the knowledge base.
+        kb_ab = KnowledgeBase([
+            CauseProfile("none", "nominal", {}),
+            CauseProfile("zeta", "fires A1", {"A1": 0.9}),
+            CauseProfile("alpha", "fires A1", {"A1": 0.9}),
+        ])
+        kb_ba = KnowledgeBase([
+            CauseProfile("none", "nominal", {}),
+            CauseProfile("alpha", "fires A1", {"A1": 0.9}),
+            CauseProfile("zeta", "fires A1", {"A1": 0.9}),
+        ])
+        report = report_with_evidence({"A1": 0.9})
+        r1 = diagnose(report, kb_ab)
+        r2 = diagnose(report, kb_ba)
+        assert r1.top_k(2) == r2.top_k(2) == ["alpha", "zeta"]
+        assert r1.ranking[0].log_likelihood == r1.ranking[1].log_likelihood
+
+
+class TestAmbiguityAndTiebreak:
+    def ambiguous_result(self):
+        # Identical profiles guarantee a tie, hence ambiguity.
+        kb = KnowledgeBase([
+            CauseProfile("none", "nominal", {}),
+            CauseProfile("alpha", "fires A1", {"A1": 0.9}),
+            CauseProfile("zeta", "fires A1", {"A1": 0.9}),
+        ])
+        return diagnose(report_with_evidence({"A1": 0.9}), kb)
+
+    def test_ambiguous_flag(self):
+        result = self.ambiguous_result()
+        assert not result.confident
+        assert result.ambiguous
+
+    def test_confident_result_not_ambiguous(self):
+        result = diagnose(report_with_evidence({"A1": 0.9, "A2": 0.9}),
+                          toy_kb())
+        assert result.confident
+        assert not result.ambiguous
+
+    def test_single_candidate_never_ambiguous(self):
+        kb = KnowledgeBase([CauseProfile("only", "sole cause",
+                                         {"A1": 0.9})])
+        result = diagnose(report_with_evidence({"A1": 0.9}), kb)
+        assert result.confident
+        assert not result.ambiguous
+
+    def test_apply_tiebreak_reorders_head(self):
+        from repro.core.diagnosis import apply_tiebreak
+
+        result = self.ambiguous_result()
+        assert result.top().cause == "alpha"
+        # Counterfactual distances say zeta matches the observation
+        # better (lower = better): the head pair must swap.
+        fixed = apply_tiebreak(result, {"alpha": 1.5, "zeta": 0.2})
+        assert fixed.top().cause == "zeta"
+        assert fixed.top_k(2) == ["zeta", "alpha"]
+
+    def test_apply_tiebreak_leaves_unprobed_tail_untouched(self):
+        from repro.core.diagnosis import apply_tiebreak
+
+        result = self.ambiguous_result()
+        tail_before = [d.cause for d in result.ranking
+                       if d.cause not in ("alpha", "zeta")]
+        fixed = apply_tiebreak(result, {"alpha": 9.0, "zeta": 0.1})
+        tail_after = [d.cause for d in fixed.ranking
+                      if d.cause not in ("alpha", "zeta")]
+        assert tail_before == tail_after
+        # Probed causes only moved among the positions they occupied.
+        pos = [i for i, d in enumerate(result.ranking)
+               if d.cause in ("alpha", "zeta")]
+        pos_after = [i for i, d in enumerate(fixed.ranking)
+                     if d.cause in ("alpha", "zeta")]
+        assert pos == pos_after
+
+    def test_apply_tiebreak_empty_scores_is_identity(self):
+        from repro.core.diagnosis import apply_tiebreak
+
+        result = self.ambiguous_result()
+        fixed = apply_tiebreak(result, {})
+        assert [d.cause for d in fixed.ranking] == [
+            d.cause for d in result.ranking]
+
+    def test_apply_tiebreak_score_ties_keep_likelihood_order(self):
+        from repro.core.diagnosis import apply_tiebreak
+
+        result = self.ambiguous_result()
+        fixed = apply_tiebreak(result, {"alpha": 0.5, "zeta": 0.5})
+        assert fixed.top_k(2) == result.top_k(2)

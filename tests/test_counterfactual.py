@@ -1,0 +1,372 @@
+"""Unit + property tests for the counterfactual search cores.
+
+The delta-debugging cores are pure functions over a ``violates``
+predicate, so hypothesis can drive them with *arbitrary* predicates —
+including adversarially non-monotone ones — without a simulator in the
+loop.  Pinned guarantees:
+
+* ``ddmin_interval``: the result always violates, is 1-minimal on
+  normal exit, never loops, and respects the probe budget even when the
+  predicate is non-monotone;
+* ``ddmin_subset``: minimal sufficient subsets, singleton fast path,
+  order preservation, budget contract;
+* ``bisect_intensity``: the boundary bracket, resolution contract;
+* the satellite-4 regression: an *edited* intervention can never alias
+  the original cache entry or any sibling edit — every edit field rides
+  in the probe cache key, and the probe key space is disjoint from the
+  grid key space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import cache_key, cache_key_params
+from repro.experiments.counterfactual import (
+    Intervention,
+    Subject,
+    bisect_intensity,
+    ddmin_interval,
+    ddmin_subset,
+    probe_params,
+)
+
+
+# ---------------------------------------------------------------------------
+# ddmin_interval: property suite
+# ---------------------------------------------------------------------------
+
+class CountingPredicate:
+    """Wrap a violates(lo, hi) predicate; count and sanity-check calls."""
+
+    def __init__(self, fn, n):
+        self.fn = fn
+        self.n = n
+        self.calls = 0
+
+    def __call__(self, lo, hi):
+        self.calls += 1
+        assert 0 <= lo < hi <= self.n, "probe outside the original window"
+        return self.fn(lo, hi)
+
+
+@st.composite
+def violating_windows(draw):
+    """A window size plus an embedded violating core [a, b)."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    a = draw(st.integers(min_value=0, max_value=n - 1))
+    b = draw(st.integers(min_value=a + 1, max_value=n))
+    return n, a, b
+
+
+@given(violating_windows())
+@settings(max_examples=200, deadline=None)
+def test_interval_monotone_finds_exact_core(case):
+    """Monotone predicate (violates iff the core is covered): ddmin must
+    recover the core exactly, and it is 1-minimal."""
+    n, a, b = case
+    pred = CountingPredicate(lambda lo, hi: lo <= a and hi >= b, n)
+    res = ddmin_interval(pred, n, budget=10_000)
+    assert not res.exhausted
+    assert (res.lo, res.hi) == (a, b)
+    assert res.probes == pred.calls
+    # 1-minimality, re-checked from outside the search:
+    if res.size > 1:
+        assert not pred.fn(res.lo + 1, res.hi)
+        assert not pred.fn(res.lo, res.hi - 1)
+
+
+@given(violating_windows(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=200, deadline=None)
+def test_interval_nonmonotone_never_overshrinks_or_loops(case, salt):
+    """Arbitrary predicate (only required to violate on the full window):
+    the result still violates, never grows, and the search terminates
+    within its budget."""
+    n, a, b = case
+
+    def chaotic(lo, hi):
+        if (lo, hi) == (0, n):
+            return True
+        # Deterministic pseudo-random verdict per sub-window.
+        return bool((lo * 2654435761 ^ hi * 40503 ^ salt) & 4)
+
+    pred = CountingPredicate(chaotic, n)
+    res = ddmin_interval(pred, n, budget=10_000)
+    assert 0 <= res.lo < res.hi <= n
+    # Whatever came back was *witnessed* violating (full window counts).
+    assert chaotic(res.lo, res.hi)
+    assert res.probes <= 10_000
+    if not res.exhausted and res.size > 1:
+        assert not chaotic(res.lo + 1, res.hi)
+        assert not chaotic(res.lo, res.hi - 1)
+
+
+@given(violating_windows(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=150, deadline=None)
+def test_interval_budget_contract(case, budget):
+    """Tiny budgets: at most ``budget`` probes, exhaustion flagged, and
+    the partial result is still a violating window."""
+    n, a, b = case
+    pred = CountingPredicate(lambda lo, hi: lo <= a and hi >= b, n)
+    res = ddmin_interval(pred, n, budget=budget)
+    assert pred.calls <= budget
+    assert res.probes == pred.calls
+    assert res.lo <= a and res.hi >= b  # never shrank past the core
+    if res.exhausted:
+        assert not res.minimal
+
+
+def test_interval_rejects_empty_window():
+    with pytest.raises(ValueError):
+        ddmin_interval(lambda lo, hi: True, 0)
+
+
+def test_interval_single_unit_is_trivially_minimal():
+    res = ddmin_interval(lambda lo, hi: True, 1, budget=8)
+    assert (res.lo, res.hi) == (0, 1)
+    assert res.probes == 0
+    assert res.minimal
+
+
+def test_interval_always_violating_converges_to_one_unit():
+    res = ddmin_interval(lambda lo, hi: True, 64, budget=10_000)
+    assert res.size == 1
+    assert res.minimal
+
+
+# ---------------------------------------------------------------------------
+# ddmin_subset
+# ---------------------------------------------------------------------------
+
+def test_subset_singleton_fast_path():
+    calls = []
+
+    def violates(subset):
+        calls.append(subset)
+        return subset == ("x",)
+
+    res = ddmin_subset(violates, ("a", "x", "b"), budget=64)
+    assert res.kept == ("x",)
+    assert res.minimal
+    # Fast path: found at the second singleton probe, no leave-one-out.
+    assert res.probes == 2
+
+
+def test_subset_pairwise_minimum_preserves_order():
+    # Violation needs both "a" and "c"; no singleton suffices.
+    def violates(subset):
+        return "a" in subset and "c" in subset
+
+    res = ddmin_subset(violates, ("a", "b", "c", "d"), budget=64)
+    assert res.kept == ("a", "c")
+    assert res.minimal
+
+
+@given(st.integers(min_value=1, max_value=8), st.data())
+@settings(max_examples=100, deadline=None)
+def test_subset_result_always_violates(size, data):
+    items = tuple(f"i{k}" for k in range(size))
+    core = frozenset(data.draw(
+        st.sets(st.sampled_from(items), min_size=1, max_size=size)))
+
+    def violates(subset):
+        return core <= set(subset)
+
+    res = ddmin_subset(violates, items, budget=10_000)
+    assert violates(res.kept)
+    assert set(res.kept) == core  # monotone case: exactly the core
+    assert tuple(x for x in items if x in core) == res.kept  # order kept
+
+
+def test_subset_budget_exhaustion_returns_violating_superset():
+    def violates(subset):
+        return "a" in subset and "e" in subset
+
+    res = ddmin_subset(violates, ("a", "b", "c", "d", "e"), budget=3)
+    assert res.exhausted
+    assert violates(res.kept)
+
+
+def test_subset_rejects_empty():
+    with pytest.raises(ValueError):
+        ddmin_subset(lambda s: True, ())
+
+
+# ---------------------------------------------------------------------------
+# bisect_intensity
+# ---------------------------------------------------------------------------
+
+def test_bisect_brackets_threshold():
+    res = bisect_intensity(lambda x: x >= 0.3, 1.0, rel_resolution=1 / 16,
+                           budget=64)
+    assert not res.exhausted
+    assert res.lower < 0.3 <= res.minimal
+    assert res.boundary_width <= 1.0 / 16 + 1e-12
+
+
+def test_bisect_magnitude_free_converges_to_zero():
+    res = bisect_intensity(lambda x: True, 1.0, budget=64)
+    assert res.minimal <= 1.0 / 16 + 1e-12
+
+
+def test_bisect_budget_contract():
+    calls = []
+
+    def violates(x):
+        calls.append(x)
+        return x >= 0.3
+
+    res = bisect_intensity(violates, 1.0, rel_resolution=1e-6, budget=5)
+    assert res.exhausted
+    assert len(calls) == 5
+    assert res.minimal >= 0.3  # upper end stayed violating
+
+
+def test_bisect_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        bisect_intensity(lambda x: True, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Satellite-4 regression: edited interventions never alias cache entries
+# ---------------------------------------------------------------------------
+
+SUBJECT = Subject(scenario="s_curve", controller="pure_pursuit", seed=7,
+                  duration=20.0)
+BASE = Intervention.from_labels(attack="gps_bias", fault="gps_dropout",
+                                intensity=1.0, onset=10.0)
+
+
+def probe_key(iv: Intervention) -> str:
+    return cache_key_params(probe_params(SUBJECT, iv))
+
+
+def test_every_edit_field_changes_the_cache_key():
+    edits = {
+        "base": BASE,
+        "window-end": BASE.with_window(10.0, 13.0),
+        "window-onset": BASE.with_window(11.0, math.inf),
+        "intensity": BASE.with_intensity(0.5),
+        "channels": BASE.with_channels((("attack", "gps_bias"),)),
+        "removed": BASE.removed(),
+    }
+    keys = {name: probe_key(iv) for name, iv in edits.items()}
+    assert len(set(keys.values())) == len(keys), (
+        "edited interventions collided in the probe key space")
+
+
+def test_probe_key_space_disjoint_from_grid_key_space():
+    """The original grid entry for the same coordinates must never be
+    served for a probe (or vice versa), even for the unchanged edit."""
+    grid = cache_key("s_curve", "pure_pursuit", "gps_bias", 1.0, 7, 10.0,
+                     20.0)
+    assert probe_key(BASE) != grid
+
+
+def test_unbounded_window_serializes_without_infinity():
+    d = BASE.edit_dict()
+    assert d["end"] is None
+    assert BASE.with_window(10.0, 13.0).edit_dict()["end"] == 13.0
+    # JSON-serializable throughout (cache_key_params would raise on inf).
+    probe_key(BASE)
+
+
+@given(st.floats(min_value=0.01, max_value=2.0,
+                 allow_nan=False, allow_infinity=False),
+       st.floats(min_value=0.0, max_value=30.0,
+                 allow_nan=False, allow_infinity=False))
+@settings(max_examples=50, deadline=None)
+def test_intensity_onset_edits_key_injectively(intensity, onset):
+    edited = BASE.with_intensity(intensity).with_window(onset, math.inf)
+    if edited == BASE:
+        assert probe_key(edited) == probe_key(BASE)
+    else:
+        assert probe_key(edited) != probe_key(BASE)
+
+
+# ---------------------------------------------------------------------------
+# Separation-gap proposals (simulator-free: signatures passed in directly)
+# ---------------------------------------------------------------------------
+
+def test_propose_separators_prefers_simulated_differences():
+    from repro.core.knowledge import default_knowledge_base
+    from repro.experiments.counterfactual import _propose_separators
+
+    signatures = {
+        "gps_bias": {"A1": 0.9, "A4": 0.8, "A9G": 0.2},
+        "gps_drift": {"A1": 0.9, "A4": 0.1, "A9G": 0.9},
+    }
+    proposed = _propose_separators("gps_bias", "gps_drift", signatures,
+                                   default_knowledge_base())
+    # A4 and A9G disagree strongly between the simulated signatures;
+    # the shared A1 separates nothing and must not be proposed.
+    assert set(proposed) <= {"A4", "A9G"}
+    assert proposed[0] in ("A4", "A9G")
+
+
+def test_propose_separators_falls_back_to_kb_profiles():
+    from repro.core.knowledge import CauseProfile, KnowledgeBase
+    from repro.experiments.counterfactual import _propose_separators
+
+    kb = KnowledgeBase([
+        CauseProfile("x_one", "x", {"A1": 0.9, "A2": 0.1}),
+        CauseProfile("y_two", "y", {"A1": 0.9, "A2": 0.8}),
+    ])
+    # Simulated signatures identical: no empirical separator exists.
+    flat = {"x_one": {"A1": 0.5}, "y_two": {"A1": 0.5}}
+    proposed = _propose_separators("x_one", "y_two", flat, kb)
+    assert proposed == ("A2",)
+
+
+def test_propose_separators_suggests_new_assertion_when_all_flat():
+    from repro.core.knowledge import CauseProfile, KnowledgeBase
+    from repro.experiments.counterfactual import _propose_separators
+
+    kb = KnowledgeBase([
+        CauseProfile("gps_bias", "a", {"A1": 0.9}),
+        CauseProfile("odom_scale", "b", {"A1": 0.9}),
+    ])
+    flat = {"gps_bias": {"A1": 0.5}, "odom_scale": {"A1": 0.5}}
+    proposed = _propose_separators("gps_bias", "odom_scale", flat, kb)
+    assert proposed == ("new: gps-vs-odom cross-channel consistency",)
+
+
+# ---------------------------------------------------------------------------
+# Intervention algebra
+# ---------------------------------------------------------------------------
+
+def test_from_labels_composed():
+    iv = Intervention.from_labels(attack="gps_bias+imu_gyro_bias",
+                                  fault="gps_dropout")
+    assert iv.attacks == ("gps_bias", "imu_gyro_bias")
+    assert iv.faults == ("gps_dropout",)
+    assert iv.label == "gps_bias+imu_gyro_bias+gps_dropout"
+    assert iv.channels == (("attack", "gps_bias"), ("attack", "imu_gyro_bias"),
+                           ("fault", "gps_dropout"))
+
+
+def test_from_labels_rejects_unknown():
+    with pytest.raises(ValueError):
+        Intervention.from_labels(attack="warp_drive")
+
+
+def test_removed_is_empty_and_none_labelled():
+    gone = BASE.removed()
+    assert gone.empty
+    assert gone.label == "none"
+    attack, fault = gone.campaigns()
+    assert not attack.attacks
+    assert not fault.faults
+
+
+def test_with_channels_preserves_order_and_kind():
+    iv = Intervention.from_labels(attack="gps_bias+imu_gyro_bias",
+                                  fault="gps_dropout")
+    kept = iv.with_channels((("fault", "gps_dropout"),
+                             ("attack", "imu_gyro_bias")))
+    assert kept.attacks == ("imu_gyro_bias",)
+    assert kept.faults == ("gps_dropout",)

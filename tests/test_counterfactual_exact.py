@@ -1,0 +1,212 @@
+"""Differential exactness: counterfactual probes vs the original runs.
+
+The whole counterfactual layer rests on one claim: a probe whose
+intervention is re-applied *unchanged* is the original run — bit for bit.
+If re-simulation drifted even one ULP, margin deltas, necessity checks
+and window bisection would measure simulator noise instead of causality.
+This suite pins the claim across a small attack x fault x controller
+grid:
+
+* the probe path (``Intervention.campaigns`` ->
+  ``reparameterized_attack``/``reparameterized_fault``) reproduces the
+  campaign-construction path (``standard_attack``/``standard_fault``)
+  exactly: every trace column, the metrics, the outcome, the verdicts;
+* both cache layers hand back what was stored: a memo hit returns the
+  very same objects, a disk hit round-trips every column bitwise;
+* the lockstep batch engine's prefetch path produces the same bits as
+  per-probe serial simulation, so ``--sim-engine batch`` is purely an
+  optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import standard_attack
+from repro.core.checker import check_trace
+from repro.experiments.counterfactual import (
+    Intervention,
+    ProbeEngine,
+    Subject,
+)
+from repro.experiments.runner import clear_cache
+from repro.faults.campaign import standard_fault
+from repro.sim.engine import run_scenario
+from repro.trace.schema import Trace
+
+DURATION = 20.0
+ONSET = 10.0
+SEED = 7
+
+# Attack x fault x controller lanes, mirroring the campaign-grid product
+# (single attacks, benign faults, compositions, every controller family).
+LANES = [
+    ("pure_pursuit", "gps_bias", "none"),
+    ("pure_pursuit", "none", "gps_dropout"),
+    ("pure_pursuit", "gps_bias", "odom_freeze"),
+    ("stanley", "gps_drift", "none"),
+    ("lqr", "odom_scale", "gps_latency"),
+    ("mpc", "compass_offset", "none"),
+]
+
+
+def assert_traces_identical(a: Trace, b: Trace) -> None:
+    assert len(a) == len(b)
+    ac, bc = a.columns(), b.columns()
+    for name in Trace.field_names:
+        x, y = ac.get(name), bc.get(name)
+        if x.dtype.kind == "f":
+            assert np.array_equal(x, y, equal_nan=True), (
+                f"column {name!r} differs")
+        else:
+            assert np.array_equal(x, y), f"column {name!r} differs"
+
+
+def assert_verdicts_identical(a, b) -> None:
+    assert a.fired_ids == b.fired_ids
+    assert a.evidence() == b.evidence()
+    assert len(a.violations) == len(b.violations)
+    for sa, sb in zip(a.summaries.values(), b.summaries.values()):
+        assert sa.worst_margin == sb.worst_margin
+        assert sa.episodes == sb.episodes
+
+
+def subject_for(controller: str) -> Subject:
+    return Subject(scenario="s_curve", controller=controller, seed=SEED,
+                   duration=DURATION)
+
+
+def original_run(controller: str, attack: str, fault: str):
+    """The run as the campaign/grid layer would produce it."""
+    subject = subject_for(controller)
+    return run_scenario(
+        subject.build_scenario(),
+        controller=controller,
+        campaign=standard_attack(attack, onset=ONSET),
+        faults=standard_fault(fault, onset=ONSET),
+    )
+
+
+@pytest.mark.parametrize("controller,attack,fault", LANES)
+def test_unchanged_probe_is_bit_identical_to_original(
+        controller, attack, fault):
+    """Probe(original intervention) == original run, column for column."""
+    oracle = original_run(controller, attack, fault)
+    oracle_report = check_trace(oracle.trace)
+
+    engine = ProbeEngine(subject_for(controller), budget=4,
+                         sim_engine="serial")
+    iv = Intervention.from_labels(attack=attack, fault=fault, onset=ONSET)
+    out = engine.outcome(iv)
+
+    assert_traces_identical(oracle.trace, out.result.trace)
+    assert oracle.metrics == out.result.metrics
+    assert oracle.outcome == out.result.outcome
+    assert_verdicts_identical(oracle_report, out.report)
+
+
+def test_memo_hit_returns_stored_objects():
+    engine = ProbeEngine(subject_for("pure_pursuit"), budget=4,
+                         sim_engine="serial")
+    # An intensity no other test probes: the first outcome is a fresh
+    # simulation no matter what already sits in the process-global memo.
+    iv = Intervention.from_labels(attack="gps_bias", onset=ONSET,
+                                  intensity=0.775)
+    first = engine.outcome(iv)
+    assert first.source == "sim"
+    second = engine.outcome(iv)
+    assert second.source == "memo"
+    assert second.result is first.result
+    assert second.report is first.report
+    assert engine.stats.memo_hits == 1
+
+
+def test_disk_hit_round_trips_bitwise():
+    """With the memo dropped, the disk layer must replay the same bits."""
+    engine = ProbeEngine(subject_for("pure_pursuit"), budget=4,
+                         sim_engine="serial")
+    iv = Intervention.from_labels(attack="gps_bias", fault="gps_dropout",
+                                  onset=ONSET)
+    first = engine.outcome(iv)
+
+    clear_cache()  # memo only; the on-disk entry survives
+    engine2 = ProbeEngine(subject_for("pure_pursuit"), budget=4,
+                          sim_engine="serial")
+    second = engine2.outcome(iv)
+    assert second.source == "disk"
+    assert engine2.stats.disk_hits == 1
+    assert_traces_identical(first.result.trace, second.result.trace)
+    assert first.result.metrics == second.result.metrics
+    assert_verdicts_identical(first.report, second.report)
+
+
+def test_background_violations_subtracted_from_signature():
+    """A truncated s_curve trips its goal-liveness assertion (A15) even
+    nominally; the explanation must classify it as background and still
+    isolate the attack over the attributable remainder."""
+    from repro.experiments.counterfactual import explain
+
+    report = explain("s_curve", "pure_pursuit", attack="gps_bias",
+                     onset=15.0, seed=SEED, duration=40.0, resolution=1.0)
+    assert report.violated
+    assert "A15" in report.background
+    assert report.necessary
+    assert report.isolated
+    # Background assertions carry no margin-delta claim.
+    assert "A15" not in report.margin_deltas
+    assert "background" in report.render()
+
+
+class TestBatchEngineDifferential:
+    """Serial vs batch probe execution over edited-intervention sets."""
+
+    def edited_interventions(self):
+        base = Intervention.from_labels(attack="gps_bias",
+                                        fault="gps_dropout", onset=ONSET)
+        return [
+            base,
+            base.with_window(ONSET, ONSET + 3.0),
+            base.with_channels((("attack", "gps_bias"),)),
+            base.with_intensity(0.5),
+        ]
+
+    def snapshots(self, engine, interventions):
+        outs = [engine.outcome(iv) for iv in interventions]
+        return [(out.result.trace, out.result.metrics, out.report)
+                for out in outs]
+
+    def test_prefetch_matches_serial_bitwise(self, tmp_path, monkeypatch):
+        subject = subject_for("pure_pursuit")
+        ivs = self.edited_interventions()
+
+        monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path / "serial"))
+        clear_cache()
+        serial_engine = ProbeEngine(subject, budget=8, sim_engine="serial")
+        serial = self.snapshots(serial_engine, ivs)
+        assert serial_engine.stats.executed == len(ivs)
+
+        # Fresh cache + memo: the batch path must actually simulate.
+        monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path / "batch"))
+        clear_cache()
+        batch_engine = ProbeEngine(subject, budget=8, sim_engine="batch")
+        prefetched = batch_engine.prefetch(ivs)
+        assert prefetched == len(ivs)
+        assert batch_engine.stats.batch_groups == 1
+        assert batch_engine.stats.batch_points == len(ivs)
+        batch = self.snapshots(batch_engine, ivs)
+
+        for (st, sm, sr), (bt, bm, br) in zip(serial, batch):
+            assert_traces_identical(st, bt)
+            assert sm == bm
+            assert_verdicts_identical(sr, br)
+
+    def test_prefetch_skips_cached_probes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        subject = subject_for("pure_pursuit")
+        ivs = self.edited_interventions()
+        engine = ProbeEngine(subject, budget=8, sim_engine="batch")
+        engine.prefetch(ivs)
+        # Everything already committed: a second prefetch batches nothing.
+        assert engine.prefetch(ivs) == 0

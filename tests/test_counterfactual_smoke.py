@@ -1,0 +1,51 @@
+"""End-to-end smoke: ``adassure explain`` on a seeded E4 violation.
+
+One full CLI pass over the quick-config E4 grid point (urban_loop /
+pure_pursuit / gps_bias @ seed 7, onset 15 s, 40 s) — the same coordinates
+``ExperimentConfig.quick()`` feeds ``build_diagnosis_accuracy``.  CI runs
+this under a hard timeout (see ``.github/workflows/ci.yml``,
+"Counterfactual smoke"): a wedged search (ddmin looping, a probe hanging
+the simulator) becomes a fast failure instead of a stuck job.
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+E4_POINT = [
+    "--scenario", "urban_loop",
+    "--controller", "pure_pursuit",
+    "--attack", "gps_bias",
+    "--seed", "7",
+    "--onset", "15.0",
+    "--duration", "40.0",
+]
+
+
+def test_explain_cli_end_to_end(capsys):
+    rc = main(["explain", *E4_POINT, "--resolution", "1.0", "--stats"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    # The causal chain, end to end: violation -> necessity -> minimal
+    # window -> verified minimal -> isolation verdict.
+    assert "VIOLATING" in out
+    assert "necessity    : confirmed" in out
+    assert "window       : " in out and "1-minimal" in out
+    assert "(verified)" in out
+    assert "result       : ISOLATED" in out
+    # --stats surfaces the probe cache accounting (every probe goes
+    # through the ResultStore, so the split must be visible).
+    assert "memo hits" in out
+    assert "grid points" in out
+
+
+def test_explain_cli_second_pass_all_cached(capsys):
+    """Same explanation again: identical report, zero fresh simulations."""
+    first = main(["explain", *E4_POINT, "--resolution", "1.0"])
+    report_a = capsys.readouterr().out
+    second = main(["explain", *E4_POINT, "--resolution", "1.0", "--stats"])
+    out = capsys.readouterr().out
+    assert first == second == 0
+    report_b = out.split("\n-- campaign stats")[0].rstrip("\n")
+    assert report_a.rstrip("\n") == report_b
+    assert "executed 0" in out

@@ -86,3 +86,51 @@ class TestCliSurface:
         attack_action = next(a for a in run_parser._actions
                              if a.dest == "attack")
         assert set(attack_action.choices) == {"none"} | set(ATTACK_CLASSES)
+
+    def test_explain_defaults_match_module_constants(self):
+        from repro.experiments.counterfactual import (
+            DEFAULT_BUDGET,
+            DEFAULT_RESOLUTION,
+        )
+
+        parser = build_parser()
+        explain = parser._subparsers._group_actions[0].choices["explain"]
+        actions = {a.dest: a for a in explain._actions}
+        assert actions["budget"].default == DEFAULT_BUDGET
+        assert actions["resolution"].default == DEFAULT_RESOLUTION
+        assert set(actions["sim_engine"].choices) == {"serial", "batch"}
+        # Same controller universe as `run`.
+        run_parser = parser._subparsers._group_actions[0].choices["run"]
+        run_controllers = next(a for a in run_parser._actions
+                               if a.dest == "controller").choices
+        assert actions["controller"].choices == run_controllers
+
+
+class TestCounterfactualDoc:
+    @pytest.fixture(scope="class")
+    def doc(self) -> str:
+        return (ROOT / "docs" / "counterfactual.md").read_text(
+            encoding="utf-8")
+
+    def test_budget_default_current(self, doc):
+        from repro.experiments.counterfactual import DEFAULT_BUDGET
+
+        assert f"default {DEFAULT_BUDGET}" in doc
+
+    def test_search_cores_documented(self, doc):
+        for core in ("ddmin_interval", "ddmin_subset", "bisect_intensity"):
+            assert core in doc, f"{core} missing from docs/counterfactual.md"
+
+    def test_cross_links_resolve(self, doc, readme):
+        # README and the doc must point at each other's surfaces.
+        assert "docs/counterfactual.md" in readme
+        assert "adassure explain" in readme
+        for test_file in ("tests/test_counterfactual.py",
+                          "tests/test_counterfactual_exact.py"):
+            assert (ROOT / test_file).exists()
+            assert test_file in doc
+
+    def test_design_mentions_module(self):
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        assert "counterfactual.py" in design
+        assert "docs/counterfactual.md" in design
