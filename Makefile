@@ -1,6 +1,6 @@
 # Development entry points for the ADAssure reproduction.
 
-.PHONY: install test bench bench-compare bench-runner bench-sim bench-distributed experiments examples clean
+.PHONY: install test bench bench-compare bench-runner bench-sim bench-distributed bench-probes experiments examples clean
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation || python setup.py develop
@@ -31,6 +31,12 @@ bench-sim:
 # / chaos pass with the fleet SIGKILLed mid-shard) → BENCH_distributed.json.
 bench-distributed:
 	python benchmarks/bench_distributed.py --output BENCH_distributed.json
+
+# Benchmark round-batched counterfactual probing and the E10-E13 planner
+# sweeps against their serial oracles (bit-identity verified) and write
+# BENCH_probes.json.
+bench-probes:
+	python benchmarks/bench_probes.py --output BENCH_probes.json
 
 # Regenerate every evaluation table/figure at full size (a few minutes).
 experiments:

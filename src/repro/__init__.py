@@ -40,7 +40,7 @@ from repro.trace import Trace, compute_metrics, diff_traces
 # 1.4: scheduler/executor/result-store split + the distributed campaign
 # backend (grid specs embed this version; mixed-version fleets refuse
 # to share a campaign).
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "run_scenario",

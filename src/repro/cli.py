@@ -183,6 +183,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     intensity = args.intensity
     onset = args.onset
     seed = args.seed
+    extra: dict = {}
     if args.target:
         if os.path.exists(args.target):
             trace = read_trace_auto(args.target)
@@ -199,18 +200,34 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 onset = trace_onset
         else:
             try:
-                point = resolve_cache_key(args.target)
+                resolved = resolve_cache_key(args.target)
             except ValueError as exc:
                 print(f"{exc} (and no such trace file exists)",
                       file=sys.stderr)
                 return 2
-            if point is None:
+            if resolved is None:
                 print(f"cache key {args.target} matches no checkpointed "
-                      "grid point; pass the run's flags instead "
+                      "grid point or ledgered off-grid run; pass the "
+                      "run's flags instead "
                       "(--scenario/--controller/--attack/...)",
                       file=sys.stderr)
                 return 2
-            scenario, controller, attack, intensity, seed, onset, dur = point
+            if isinstance(resolved, dict):
+                # An off-grid entry from the params ledger (E10–E13
+                # sweeps, probe fleet): the dict is explain() kwargs.
+                scenario = resolved.pop("scenario")
+                controller = resolved.pop("controller", controller)
+                attack = resolved.pop("attack", attack)
+                intensity = resolved.pop("intensity", intensity)
+                seed = resolved.pop("seed", seed)
+                onset = resolved.pop("onset", onset)
+                args.fault = resolved.pop("fault", args.fault)
+                dur = resolved.pop("duration", None)
+                extra = resolved
+            else:
+                scenario, controller, attack, intensity, seed, onset, dur \
+                    = resolved
+                extra = {}
             if args.duration is None and dur is not None:
                 args.duration = dur
     STATS.reset()
@@ -219,6 +236,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         intensity=intensity, onset=onset, seed=seed,
         duration=args.duration, budget=args.budget,
         resolution=args.resolution, sim_engine=args.sim_engine,
+        **extra,
     )
     print(report.render())
     if args.stats:
@@ -449,9 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--sim-engine", choices=("serial", "batch"),
                        default=None,
                        help="simulation engine for uncached grid points "
-                            "(default: $ADASSURE_SIM or serial; 'batch' "
-                            "steps compatible points in lockstep as NumPy "
-                            "arrays, bit-identical results)")
+                            "(default: $ADASSURE_SIM, else auto — batch "
+                            "when >=2 points are pending and NumPy "
+                            "imports; 'batch' steps compatible points in "
+                            "lockstep as NumPy arrays, bit-identical "
+                            "results)")
     p_exp.add_argument("--seeds", metavar="S1,S2,...", default=None,
                        help="override the config's seed list "
                             "(comma-separated integers, non-empty)")
@@ -505,7 +525,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--sim-engine", choices=("serial", "batch"),
                            default=None,
                            help="simulation engine for uncached probes "
-                                "(default: $ADASSURE_SIM or serial)")
+                                "(default: $ADASSURE_SIM, else auto — "
+                                "batch when probes are pending and NumPy "
+                                "imports)")
     p_explain.add_argument("--stats", action="store_true",
                            help="print probe/cache stats after the report")
     p_explain.set_defaults(func=_cmd_explain)

@@ -355,7 +355,11 @@ class ScoredResultStore(ResultStore):
         self._memo_put(self.memo_key(params), pair)
         if self.cache is not None:
             result, report = pair
-            self.cache.store(self.key(params), result, report, None)
+            key = self.key(params)
+            self.cache.store(key, result, report, None)
+            # Sidecar ledger: lets `adassure explain <key>` reverse-map
+            # off-grid entries back to their params dict.
+            self.cache.record_params(key, params)
 
     def quarantine(self, params: dict, error: str) -> None:
         """Off-grid runs keep no campaign ledger; failures raise to the
@@ -398,6 +402,8 @@ class BatchExecutor(Executor):
 
     def execute(self, items, merge, stats, quarantine=None):
         from repro.experiments import runner
+        from repro.sim.batch.controllers import dare_memo_counters
+        dare0 = dare_memo_counters()
         points = [point for point, _ in items]
         groups: dict[tuple, list[tuple]] = {}
         for point in points:
@@ -418,6 +424,9 @@ class BatchExecutor(Executor):
                 else:
                     stats.batch_groups += 1
                     stats.batch_points += len(chunk)
+        dare1 = dare_memo_counters()
+        stats.dare_memo_hits += dare1["hits"] - dare0["hits"]
+        stats.dare_memo_solves += dare1["solves"] - dare0["solves"]
         return leftover
 
 

@@ -282,6 +282,38 @@ class RunCache:
             self.counters.errors += 1
             self.evict(key)
 
+    # -- off-grid params ledger -----------------------------------------
+    def _params_path(self, key: str) -> Path:
+        return self.root / "params" / key[:2] / (key + ".params.json")
+
+    def record_params(self, key: str, params: dict) -> None:
+        """Ledger entry mapping an off-grid cache key to its params dict.
+
+        Grid points are reverse-mappable through checkpoint manifests;
+        off-grid runs (``run_scored`` / planner / probe entries) have no
+        manifest, so the store keeps this sidecar ledger instead —
+        :func:`~repro.experiments.counterfactual.resolve_cache_key`
+        reads it to make ``adassure explain <key>`` work for them.
+        Atomic and best-effort, like :meth:`store`.
+        """
+        try:
+            path = self._params_path(key)
+            if path.exists():
+                return
+            path.parent.mkdir(parents=True, exist_ok=True)
+            data = json.dumps(params, sort_keys=True) + "\n"
+            self._atomic_write(path, data.encode("utf-8"))
+        except Exception:
+            self.counters.errors += 1
+
+    def load_params(self, key: str) -> dict | None:
+        """The params dict recorded for ``key``, or ``None``."""
+        try:
+            return json.loads(
+                self._params_path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
     def _atomic_write(self, path: Path, data: bytes) -> None:
         tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
         tmp.write_bytes(data)

@@ -80,7 +80,10 @@ __all__ = [
     "ddmin_subset",
     "detect_separation_gap",
     "explain",
+    "intensity_probe_tree",
+    "interval_probe_tree",
     "probe_params",
+    "subset_probe_tree",
 ]
 
 PROBE_KIND = "counterfactual"
@@ -144,7 +147,8 @@ class IntervalResult:
         return not self.exhausted
 
 
-def ddmin_interval(violates, n: int, budget: int = 64) -> IntervalResult:
+def ddmin_interval(violates, n: int, budget: int = 64,
+                   prefetch=None) -> IntervalResult:
     """Shrink the violating interval ``[0, n)`` to a 1-minimal sub-interval.
 
     ``violates(lo, hi)`` must hold for ``(0, n)`` (the caller verifies it;
@@ -152,6 +156,12 @@ def ddmin_interval(violates, n: int, budget: int = 64) -> IntervalResult:
     to contiguous windows: greedily trim power-of-two-sized steps off the
     right, then the left, halving the step on failure until single-unit
     trims fail on both ends.
+
+    ``prefetch``, when given, receives each round's full candidate set —
+    the right-trim and left-trim windows this round may probe — *before*
+    any verdict is inspected, so a batch engine can simulate the round as
+    one lane group.  It charges no budget and must not affect verdicts:
+    the serial probe order below is authoritative.
 
     Guarantees (the hypothesis suite pins each):
 
@@ -178,6 +188,8 @@ def ddmin_interval(violates, n: int, budget: int = 64) -> IntervalResult:
         step *= 2
     try:
         while step >= 1:
+            if prefetch is not None and hi - lo > step:
+                prefetch(((lo, hi - step), (lo + step, hi)))
             if hi - lo > step and test(lo, hi - step):
                 hi -= step
             elif hi - lo > step and test(lo + step, hi):
@@ -203,14 +215,18 @@ class SubsetResult:
         return not self.exhausted
 
 
-def ddmin_subset(violates, items, budget: int = 64) -> SubsetResult:
+def ddmin_subset(violates, items, budget: int = 64,
+                 prefetch=None) -> SubsetResult:
     """1-minimal sufficient subset of ``items`` (order-preserving).
 
     ``violates(subset)`` must hold for the full tuple.  Fast path: probe
     each singleton — any violating singleton is immediately 1-minimal
     (the common case for independent attack channels).  Otherwise greedy
     leave-one-out elimination until no single removal still violates.
-    Same budget contract as :func:`ddmin_interval`.
+    Same budget contract as :func:`ddmin_interval`; ``prefetch``
+    (optional, budget-free, verdict-neutral) receives each round's full
+    candidate set — all singletons, then each sweep's leave-one-out
+    complements — before any verdict is inspected.
     """
     items = tuple(items)
     if not items:
@@ -225,6 +241,8 @@ def ddmin_subset(violates, items, budget: int = 64) -> SubsetResult:
 
     try:
         if len(kept) > 1:
+            if prefetch is not None:
+                prefetch(tuple((item,) for item in items))
             for item in items:
                 if test([item]):
                     kept = [item]
@@ -232,6 +250,9 @@ def ddmin_subset(violates, items, budget: int = 64) -> SubsetResult:
         changed = len(kept) > 1
         while changed and len(kept) > 1:
             changed = False
+            if prefetch is not None:
+                prefetch(tuple(
+                    tuple(x for x in kept if x != item) for item in kept))
             for item in list(kept):
                 candidate = [x for x in kept if x != item]
                 if test(candidate):
@@ -261,13 +282,21 @@ class IntensityResult:
 
 
 def bisect_intensity(violates, hi: float, *, rel_resolution: float = 1 / 16,
-                     budget: int = 64) -> IntensityResult:
+                     budget: int = 64, prefetch=None) -> IntensityResult:
     """1-minimize the magnitude knob toward the verdict boundary.
 
     ``violates(hi)`` must hold.  Standard bisection keeping the upper end
     violating, down to a boundary bracket of ``hi * rel_resolution``.
     Magnitude-free interventions (freeze, blinding) simply converge to a
     near-zero minimal intensity — "violates at any magnitude".
+
+    ``prefetch`` (optional, budget-free, verdict-neutral) receives each
+    round's speculative candidate set before the verdict is inspected:
+    the midpoint plus *both* next-level midpoints — ``0.5*(lo+mid)`` if
+    the midpoint violates, ``0.5*(mid+hi)`` if it does not — exactly the
+    float expressions the serial recursion would evaluate, so a batch
+    engine can run the round one level deep without changing the
+    returned boundary.
     """
     if hi <= 0:
         raise ValueError("intensity must be positive")
@@ -277,6 +306,15 @@ def bisect_intensity(violates, hi: float, *, rel_resolution: float = 1 / 16,
     exhausted = False
     try:
         while hi - lo > resolution:
+            if prefetch is not None:
+                mid = 0.5 * (lo + hi)
+                if 0.5 * (hi - lo) > resolution:
+                    prefetch((mid, 0.5 * (lo + mid), 0.5 * (mid + hi)))
+                else:
+                    # Final round: the next-level midpoints sit inside a
+                    # bracket the loop will never re-enter — offering
+                    # them would only buy wasted lanes.
+                    prefetch((mid,))
             budget_.charge()
             mid = 0.5 * (lo + hi)
             if violates(mid):
@@ -287,6 +325,100 @@ def bisect_intensity(violates, hi: float, *, rel_resolution: float = 1 / 16,
         exhausted = True
     return IntensityResult(minimal=hi, lower=lo, probes=budget_.used,
                            exhausted=exhausted)
+
+
+# ---------------------------------------------------------------------------
+# Probe-tree enumeration: the searches' reachable probe sets, up front.
+#
+# Every probe the three searches can possibly issue is a pure function of
+# the *input* configuration — the verdicts only select which ones get
+# consumed.  Enumerating the reachable sets lets `explain()` push the
+# whole probe tree through the batch engine as one speculative lane
+# group before the serial searches start; the serial order then finds
+# every probe already cached.  Unconsumed lanes are `speculative_wasted`.
+# ---------------------------------------------------------------------------
+
+def interval_probe_tree(n: int, limit: int = 64) -> tuple[tuple[int, int], ...]:
+    """Every window :func:`ddmin_interval` can probe over ``[0, n)``.
+
+    Breadth-first over the search's reachable states ``(lo, hi, step)``
+    across *all* verdict branches (right trim, left trim, step halving),
+    collecting the distinct candidate windows shallow-first — the probes
+    the real search issues earliest come first, so a lane cap drops only
+    the deep tail.
+    """
+    if n < 1:
+        return ()
+    step0 = 1
+    while step0 * 2 < n:
+        step0 *= 2
+    windows: list[tuple[int, int]] = []
+    seen_windows: set[tuple[int, int]] = set()
+    seen_states = {(0, n, step0)}
+    frontier = [(0, n, step0)]
+    while frontier and len(windows) < limit:
+        nxt = []
+        for lo, hi, step in frontier:
+            if hi - lo > step:
+                for cand in ((lo, hi - step), (lo + step, hi)):
+                    if cand not in seen_windows:
+                        seen_windows.add(cand)
+                        windows.append(cand)
+                succs = ((lo, hi - step, step), (lo + step, hi, step),
+                         (lo, hi, step // 2))
+            else:
+                succs = ((lo, hi, step // 2),)
+            for state in succs:
+                if state[2] >= 1 and state not in seen_states:
+                    seen_states.add(state)
+                    nxt.append(state)
+        frontier = nxt
+    return tuple(windows[:limit])
+
+
+def subset_probe_tree(items, limit: int = 64) -> tuple[tuple, ...]:
+    """Every proper non-empty ordered subset :func:`ddmin_subset` can
+    probe: singletons first (the fast path), then leave-one-out-reachable
+    subsets by descending size.  Empty beyond 6 items (the enumeration
+    would dwarf the search it speculates for)."""
+    items = tuple(items)
+    k = len(items)
+    if k <= 1 or k > 6:
+        return ()
+    import itertools
+    out: list[tuple] = [(item,) for item in items]
+    for size in range(k - 1, 1, -1):
+        out.extend(itertools.combinations(items, size))
+    return tuple(out[:limit])
+
+
+def intensity_probe_tree(hi: float, rel_resolution: float = 1 / 16,
+                         limit: int = 64) -> tuple[float, ...]:
+    """Every midpoint :func:`bisect_intensity` can probe from ``hi``.
+
+    The bisection's full binary bracket tree, each midpoint computed with
+    the exact float expression (``0.5 * (lo + hi)`` along the bracket
+    path) the serial search would use — bitwise-identical probe
+    intensities, so prefetched lanes alias the serial probes' cache keys.
+    """
+    if hi <= 0:
+        return ()
+    resolution = float(hi) * float(rel_resolution)
+    mids: list[float] = []
+    seen: set[float] = set()
+    frontier = [(0.0, float(hi))]
+    while frontier and len(mids) < limit:
+        nxt = []
+        for lo, h in frontier:
+            if h - lo > resolution:
+                mid = 0.5 * (lo + h)
+                if mid not in seen:
+                    seen.add(mid)
+                    mids.append(mid)
+                nxt.append((lo, mid))
+                nxt.append((mid, h))
+        frontier = nxt
+    return tuple(mids[:limit])
 
 
 # ---------------------------------------------------------------------------
@@ -386,12 +518,48 @@ class Intervention:
 
 @dataclass(frozen=True, slots=True)
 class Subject:
-    """The run under explanation: everything probes share with it."""
+    """The run under explanation: everything probes share with it.
+
+    ``gate``/``defect`` extend the subject beyond the cartesian grid to
+    the off-grid E10/E13 configurations: an innovation-gated estimator
+    (``EkfConfig(gate_nis=gate)``) and a deliberately defective lateral
+    controller (``DefectiveController(make_defect(defect,
+    **dict(defect_args)))``), so ``adassure explain`` can reproduce any
+    planner-recorded run, not just grid points.
+    """
 
     scenario: str
     controller: str
     seed: int
     duration: float | None = None
+    gate: float | None = None
+    defect: str | None = None
+    defect_args: tuple = ()
+    """Defect constructor kwargs as a hashable ``((key, value), ...)``."""
+
+    def ekf_config(self):
+        """The estimator override probes must share with the subject."""
+        if self.gate is None:
+            return None
+        from repro.control.estimator import EkfConfig
+        return EkfConfig(gate_nis=self.gate)
+
+    def build_follower(self, scenario: Scenario):
+        """The follower exactly as ``run_scenario`` (or, under
+        ``defect``, the E13 harness) constructs it."""
+        from repro.control.acc import AccController
+        from repro.control.base import make_lateral_controller
+        from repro.control.follower import SpeedProfile, WaypointFollower
+        lateral = make_lateral_controller(self.controller)
+        if self.defect:
+            from repro.control.defects import DefectiveController, make_defect
+            lateral = DefectiveController(
+                lateral, make_defect(self.defect, **dict(self.defect_args)))
+        return WaypointFollower(
+            lateral,
+            profile=SpeedProfile(cruise_speed=scenario.cruise_speed),
+            acc=AccController() if scenario.lead is not None else None,
+        )
 
     def build_scenario(self) -> Scenario:
         """Reconstruct the scenario exactly as the grid runner does."""
@@ -414,8 +582,10 @@ def probe_params(subject: Subject, intervention: Intervention) -> dict:
     """The :class:`~repro.experiments.backend.ScoredResultStore` params
     dict for one probe: subject coordinates plus the *full* intervention
     edit, so a modified intervention never aliases the original grid
-    entry (different key space entirely) or any sibling probe."""
-    return {
+    entry (different key space entirely) or any sibling probe.  The
+    off-grid subject extensions (``gate``, ``defect``) join the key only
+    when set, so plain grid subjects keep their established key space."""
+    params = {
         "kind": PROBE_KIND,
         "scenario": subject.scenario,
         "controller": subject.controller,
@@ -424,6 +594,12 @@ def probe_params(subject: Subject, intervention: Intervention) -> dict:
         else float(subject.duration),
         "edit": intervention.edit_dict(),
     }
+    if subject.gate is not None:
+        params["gate"] = float(subject.gate)
+    if subject.defect:
+        params["defect"] = subject.defect
+        params["defect_args"] = [[k, v] for k, v in subject.defect_args]
+    return params
 
 
 @dataclass(frozen=True, slots=True)
@@ -458,15 +634,32 @@ class ProbeEngine:
 
     def __init__(self, subject: Subject, budget: int = DEFAULT_BUDGET,
                  sim_engine: str | None = None):
-        from repro.experiments.runner import resolve_sim_engine, scored_store
+        from repro.experiments.runner import choose_sim_engine, scored_store
         self.subject = subject
         self.budget = _Budget(int(budget))
-        self.sim_engine = resolve_sim_engine(sim_engine)
+        # Speculative prefetch always offers >= 2 candidate lanes, so the
+        # auto choice here is batch-unless-opted-out (ADASSURE_SIM=serial).
+        self.sim_engine, engine_reason = choose_sim_engine(sim_engine, 2)
         self.store = scored_store()
         self.baseline_fired: frozenset[str] = frozenset()
         self.flipped = 0
         self.stats = GridStats(workers=1)
         self.stats.sim_engine = self.sim_engine
+        self.stats.sim_engine_reason = engine_reason
+        self._speculative: dict[str, RunResult] = {}
+        """Prefetched-and-simulated lanes (canonical params -> raw
+        :class:`RunResult`) not yet consumed by :meth:`outcome` —
+        ``speculative_wasted`` is its size.  Lanes are held raw: the
+        assertion check and the store commit are deferred until a search
+        actually asks for the probe, so wasted lanes cost only their
+        share of the lockstep batch, never a check or a disk write."""
+        self.speculate = True
+        """Master switch for :meth:`prefetch`.  :func:`explain` turns it
+        off on a warm store (the original probe already resolves): the
+        searches then replay a previously-consumed probe sequence
+        entirely from cache, and speculation would only re-simulate the
+        prior pass's wasted lanes — which, held raw, were deliberately
+        never committed."""
 
     @property
     def remaining(self) -> int:
@@ -480,14 +673,38 @@ class ProbeEngine:
     def _simulate(self, intervention: Intervention) -> RunResult:
         scenario = self.subject.build_scenario()
         attack, faults = intervention.campaigns()
+        if self.subject.defect:
+            # `run_scenario` cannot express a defective controller; build
+            # the follower the way the E13 harness does.
+            from repro.sim.engine import SimulationRunner
+            follower = self.subject.build_follower(scenario)
+            return SimulationRunner(scenario, follower, attack,
+                                    self.subject.ekf_config(),
+                                    faults=faults).run()
         return run_scenario(scenario, controller=self.subject.controller,
-                            campaign=attack, faults=faults)
+                            campaign=attack, faults=faults,
+                            ekf_config=self.subject.ekf_config())
 
     def _resolve_or_run(self, intervention: Intervention):
         import time
 
         from repro.core.checker import check_trace
         params = probe_params(self.subject, intervention)
+        canon = self.store.canonical(params)
+        spec = self._speculative.pop(canon, None)
+        if spec is not None:
+            # Consume a speculative lane: it was simulated in a prefetch
+            # batch but the check and commit were deferred to here so
+            # that wasted lanes never pay them.  `executed` was already
+            # counted at prefetch time; this is a memo hit.
+            t1 = time.perf_counter()
+            report = check_trace(spec.trace)
+            t2 = time.perf_counter()
+            self.store.commit(params, (spec, report))
+            self.stats.memo_hits += 1
+            self.stats.speculative_wasted = len(self._speculative)
+            self.stats.phase_time["check"] += t2 - t1
+            return spec, report, "memo"
         hit = self.store.resolve(params)
         if hit is not None:
             (result, report), source = hit
@@ -518,42 +735,50 @@ class ProbeEngine:
         Any engine rejection falls back silently to per-probe serial
         simulation.
         """
-        if self.sim_engine != "batch":
+        if not self.speculate or self.sim_engine != "batch":
             return 0
-        from repro.core.checker import check_trace
         from repro.sim.batch import LaneSpec, run_batch
-        pending: list[tuple[dict, Intervention]] = []
+        pending: list[tuple[dict, str, Intervention]] = []
+        seen: set[str] = set()
         for intervention in interventions:
             params = probe_params(self.subject, intervention)
+            canon = self.store.canonical(params)
+            if canon in seen or canon in self._speculative:
+                continue
+            seen.add(canon)
             if self.store.resolve(params) is None:
-                pending.append((params, intervention))
-        if len(pending) < 2:
+                pending.append((params, canon, intervention))
+        if not pending:
             return 0
-        from repro.control.acc import AccController
-        from repro.control.base import make_lateral_controller
-        from repro.control.follower import SpeedProfile, WaypointFollower
         scenario = self.subject.build_scenario()
+        ekf_config = self.subject.ekf_config()
         specs = []
-        for _, intervention in pending:
+        for _, _, intervention in pending:
             attack, faults = intervention.campaigns()
-            follower = WaypointFollower(
-                make_lateral_controller(self.subject.controller),
-                profile=SpeedProfile(cruise_speed=scenario.cruise_speed),
-                acc=AccController() if scenario.lead is not None else None,
-            )
-            specs.append(LaneSpec(scenario=scenario, follower=follower,
-                                  campaign=attack, faults=faults))
+            specs.append(LaneSpec(scenario=scenario,
+                                  follower=self.subject.build_follower(
+                                      scenario),
+                                  campaign=attack, ekf_config=ekf_config,
+                                  faults=faults))
+        from repro.sim.batch.controllers import dare_memo_counters
+        dare0 = dare_memo_counters()
         try:
             results = run_batch(specs)
         except Exception:
             self.stats.batch_fallbacks += 1
             return 0
-        for (params, _), result in zip(pending, results):
-            report = check_trace(result.trace)
-            self.store.commit(params, (result, report))
+        dare1 = dare_memo_counters()
+        self.stats.dare_memo_hits += dare1["hits"] - dare0["hits"]
+        self.stats.dare_memo_solves += dare1["solves"] - dare0["solves"]
+        for (_, canon, _), result in zip(pending, results):
+            # Held raw: check + commit happen lazily in _resolve_or_run
+            # iff a search consumes the lane.
+            self._speculative[canon] = result
         self.stats.batch_groups += 1
         self.stats.batch_points += len(pending)
         self.stats.executed += len(pending)
+        self.stats.speculative_issued += len(pending)
+        self.stats.speculative_wasted = len(self._speculative)
         return len(pending)
 
     def outcome(self, intervention: Intervention) -> ProbeOutcome:
@@ -885,6 +1110,9 @@ def explain(
     resolution: float = DEFAULT_RESOLUTION,
     sim_engine: str | None = None,
     kb: KnowledgeBase | None = None,
+    gate: float | None = None,
+    defect: str | None = None,
+    defect_args: dict | None = None,
 ) -> CausalReport:
     """Counterfactually isolate the minimal intervention behind a run.
 
@@ -906,15 +1134,69 @@ def explain(
 
     All probes run through the shared result store; `budget` counts every
     probe, cached or not, so the report is cache-independent.
+
+    ``gate``/``defect``/``defect_args`` extend the subject with the
+    off-grid knobs of the E10/E13 extensions (an NIS-gated estimator, an
+    injected controller defect), so cache keys resolved from those
+    sweeps can be explained too.
     """
     subject = Subject(scenario=scenario, controller=controller,
-                      seed=int(seed), duration=duration)
+                      seed=int(seed), duration=duration, gate=gate,
+                      defect=defect,
+                      defect_args=tuple(sorted((defect_args or {}).items())))
     original = Intervention.from_labels(attack, fault, intensity=intensity,
                                         onset=onset)
     engine = ProbeEngine(subject, budget=budget, sim_engine=sim_engine)
     report = CausalReport(subject=subject, intervention=original,
                           violated=False, budget=budget)
     try:
+        scenario_obj = subject.build_scenario()
+        end_eff = min(original.end, scenario_obj.duration)
+        span = end_eff - original.onset
+        n = max(int(math.ceil(span / resolution - 1e-9)), 1)
+
+        def window_time(i: int) -> float:
+            # The last cell absorbs the sub-resolution remainder.
+            return end_eff if i >= n else original.onset + i * resolution
+
+        # Round zero: push the baseline, the clean counterfactual and
+        # the searches' reachable probe trees through the batch engine
+        # as one speculative lane group — before the first verdict is
+        # even inspected.  Every candidate is a pure function of the
+        # inputs — the verdicts only choose which get consumed — so the
+        # serial searches below then find (nearly) everything already
+        # simulated and the explanation costs one batch instead of N
+        # serial simulations.  Serial order, budget and verdicts are
+        # untouched; unconsumed lanes show up as `speculative_wasted`
+        # in --stats and are never checked or committed (the marginal
+        # cost of a wasted lane is its slice of the lockstep batch).
+        # The interval tree is capped shallow here: the per-round
+        # prefetch hooks below re-offer exactly the candidates each
+        # ddmin round can reach, so the deep tail is never lost, just
+        # deferred.  A no-op on the serial engine or when the original
+        # intervention is empty (nothing to explain, nothing to batch).
+        # A warm store (the original probe already resolves) also turns
+        # speculation off for the whole explanation: the searches below
+        # replay a prior pass's consumed-probe sequence from cache, and
+        # prefetch would only re-simulate that pass's wasted lanes —
+        # held raw and never committed, by design.
+        if not original.empty and engine.store.resolve(
+                probe_params(subject, original)) is not None:
+            engine.speculate = False
+        if not original.empty and engine.speculate:
+            speculative: list[Intervention] = [original, original.removed()]
+            if span > 0:
+                speculative.extend(
+                    original.with_window(window_time(a), window_time(b))
+                    for a, b in interval_probe_tree(n, limit=16))
+            speculative.extend(
+                original.with_channels(subset)
+                for subset in subset_probe_tree(original.channels))
+            speculative.extend(
+                original.with_intensity(mid)
+                for mid in intensity_probe_tree(original.intensity))
+            engine.prefetch(speculative)
+
         base = engine.outcome(original)
         report.fired = base.fired
         report.violated = bool(base.fired)
@@ -948,24 +1230,21 @@ def explain(
         if not report.necessary:
             return report
 
-        scenario_obj = subject.build_scenario()
-        end_eff = min(original.end, scenario_obj.duration)
-
         # (b) window ddmin over [onset, end_eff) at `resolution` steps.
         window_res = None
-        span = end_eff - original.onset
         if span > 0 and engine.remaining > 0:
-            n = max(int(math.ceil(span / resolution - 1e-9)), 1)
-
-            def window_time(i: int) -> float:
-                # The last cell absorbs the sub-resolution remainder.
-                return end_eff if i >= n else original.onset + i * resolution
 
             def window_violates(a: int, b: int) -> bool:
                 return engine.violates(
                     original.with_window(window_time(a), window_time(b)))
 
-            window_res = ddmin_interval(window_violates, n, budget=10 ** 9)
+            def window_prefetch(cands) -> None:
+                engine.prefetch(
+                    original.with_window(window_time(a), window_time(b))
+                    for a, b in cands)
+
+            window_res = ddmin_interval(window_violates, n, budget=10 ** 9,
+                                        prefetch=window_prefetch)
             report.window = WindowSummary(
                 start=window_time(window_res.lo),
                 end=window_time(window_res.hi),
@@ -984,7 +1263,12 @@ def explain(
             def subset_violates(subset) -> bool:
                 return engine.violates(original.with_channels(subset))
 
-            channel_res = ddmin_subset(subset_violates, parts, budget=10 ** 9)
+            def subset_prefetch(cands) -> None:
+                engine.prefetch(original.with_channels(subset)
+                                for subset in cands)
+
+            channel_res = ddmin_subset(subset_violates, parts, budget=10 ** 9,
+                                       prefetch=subset_prefetch)
             report.channels = ChannelSummary(
                 kept=channel_res.kept,
                 dropped=tuple(p for p in parts if p not in channel_res.kept),
@@ -999,8 +1283,12 @@ def explain(
             def intensity_violates(x: float) -> bool:
                 return engine.violates(original.with_intensity(x))
 
+            def intensity_prefetch(mids) -> None:
+                engine.prefetch(original.with_intensity(m) for m in mids)
+
             magnitude_res = bisect_intensity(
-                intensity_violates, original.intensity, budget=10 ** 9)
+                intensity_violates, original.intensity, budget=10 ** 9,
+                prefetch=intensity_prefetch)
             report.magnitude = MagnitudeSummary(
                 minimal=magnitude_res.minimal,
                 lower=magnitude_res.lower,
@@ -1019,6 +1307,31 @@ def explain(
         if magnitude_res is not None and not magnitude_res.exhausted:
             minimal = minimal.with_intensity(magnitude_res.minimal)
         report.minimal = minimal
+
+        # Tail round: the two probe sites the round-zero trees cannot
+        # enumerate — the composed-minimal verification (plus its
+        # window-only fallback) and the separation-gap hypotheses —
+        # are exactly knowable here, so batch them as one last lane
+        # group before the serial code below consumes them.  The
+        # hypothesis construction mirrors detect_separation_gap.
+        tail: list[Intervention] = []
+        if minimal != original and engine.remaining > 0:
+            tail.append(minimal)
+            if window_res is not None and report.window is not None:
+                fb = original.with_window(report.window.start,
+                                          report.window.end)
+                if fb != original:
+                    tail.append(fb)
+        if (report.diagnosis is not None and report.diagnosis.ambiguous
+                and engine.remaining >= 2):
+            tail.extend(
+                Intervention(attacks=(c,), intensity=original.intensity,
+                             onset=original.onset, end=original.end)
+                for c in (d.cause for d in report.diagnosis.ranking[:2])
+                if c in ATTACK_CLASSES)
+        if tail:
+            engine.prefetch(tail)
+
         if minimal == original:
             report.minimal_verified = True
         elif engine.remaining > 0:
@@ -1062,13 +1375,16 @@ _CACHE_KEY_RE = re.compile(r"^[0-9a-f]{40}$")
 
 
 def resolve_cache_key(key: str):
-    """Map a 40-hex run-cache key back to its grid point, if known.
+    """Map a 40-hex run-cache key back to an explainable run, if known.
 
-    Scans the cache's checkpoint manifests (each records the full point
-    list of a campaign) and returns the first point whose
-    :func:`~repro.experiments.cache.cache_key` matches.  Returns ``None``
-    when the key matches no manifested point — off-grid entries (probe
-    results, ``run_scored`` configurations) are not reverse-mappable.
+    Grid entries: scans the cache's checkpoint manifests (each records
+    the full point list of a campaign) and returns the first *grid
+    point tuple* whose :func:`~repro.experiments.cache.cache_key`
+    matches.  Off-grid entries (``run_scored`` / planner configurations
+    — the E10–E13 sweeps): falls back to the cache's params ledger
+    (:meth:`~repro.experiments.cache.RunCache.load_params`) and returns
+    a *dict of keyword arguments* for :func:`explain`.  Returns ``None``
+    when neither side knows the key.
     """
     if not _CACHE_KEY_RE.match(key):
         raise ValueError(f"{key!r} is not a 40-hex cache key")
@@ -1079,18 +1395,87 @@ def resolve_cache_key(key: str):
     if cache is None:
         return None
     checkpoint_dir = cache.root / "checkpoints"
-    if not checkpoint_dir.is_dir():
-        return None
-    for manifest_path in sorted(checkpoint_dir.glob("*.json")):
-        try:
-            data = json.loads(manifest_path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            continue
-        for entry in data.get("completed", []):
-            point = tuple(entry)
+    if checkpoint_dir.is_dir():
+        for manifest_path in sorted(checkpoint_dir.glob("*.json")):
             try:
-                if cache_key(*point) == key:
-                    return point
-            except (TypeError, ValueError):
+                data = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
                 continue
+            for entry in data.get("completed", []):
+                point = tuple(entry)
+                try:
+                    if cache_key(*point) == key:
+                        return point
+                except (TypeError, ValueError):
+                    continue
+    params = cache.load_params(key)
+    if params is not None:
+        return _explain_kwargs(params)
+    return None
+
+
+def _explain_kwargs(params: dict) -> dict | None:
+    """Translate a params-ledger entry into :func:`explain` kwargs.
+
+    One branch per off-grid params ``kind`` (the E10–E13 sweeps and the
+    probe fleet itself); unknown kinds return ``None`` — better to make
+    the caller pass flags than to explain the wrong run.
+    """
+    kind = params.get("kind")
+    if kind == "mitigation":  # E10
+        kwargs = {
+            "scenario": params["scenario"],
+            "controller": params.get("controller", "pure_pursuit"),
+            "attack": params.get("attack", "none"),
+            "seed": params.get("seed", 7),
+            "onset": params.get("onset", 15.0),
+            "duration": params.get("duration"),
+        }
+        if params.get("gate") is not None:
+            kwargs["gate"] = float(params["gate"])
+        return kwargs
+    if kind == "multi_attack":  # E11
+        return {
+            "scenario": params["scenario"],
+            "controller": "pure_pursuit",
+            "attack": "+".join(params["pair"]),
+            "seed": params.get("seed", 7),
+            "onset": params.get("onset", 15.0),
+        }
+    if kind == "acc":  # E12
+        return {
+            "scenario": "acc_follow",
+            "controller": "pure_pursuit",
+            "attack": params.get("attack", "none"),
+            "seed": params.get("seed", 7),
+            "onset": params.get("onset", 15.0),
+        }
+    if kind == "defect":  # E13
+        defect = params.get("defect")
+        return {
+            "scenario": params["scenario"],
+            "controller": "pure_pursuit",
+            "seed": params.get("seed", 7),
+            "defect": None if defect in (None, "none") else defect,
+            "defect_args": params.get("defect_params") or None,
+        }
+    if kind == PROBE_KIND:  # a probe's own key — re-explain its edit
+        edit = params.get("edit", {})
+        kwargs = {
+            "scenario": params["scenario"],
+            "controller": params.get("controller", "pure_pursuit"),
+            "attack": "+".join(edit.get("attacks", [])) or "none",
+            "fault": "+".join(edit.get("faults", [])) or "none",
+            "intensity": edit.get("intensity", 1.0),
+            "onset": edit.get("onset", 15.0),
+            "seed": params.get("seed", 7),
+            "duration": params.get("duration"),
+        }
+        if params.get("gate") is not None:
+            kwargs["gate"] = float(params["gate"])
+        if params.get("defect"):
+            kwargs["defect"] = params["defect"]
+            kwargs["defect_args"] = dict(
+                (k, v) for k, v in params.get("defect_args", []))
+        return kwargs
     return None

@@ -20,7 +20,7 @@ import statistics
 from repro.attacks.campaign import standard_attack
 from repro.control.estimator import EkfConfig
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_scored
+from repro.experiments.plan import ProbePlan, scenario_lane
 from repro.experiments.tables import Table
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import standard_scenarios
@@ -35,10 +35,13 @@ def build_mitigation_table(config: ExperimentConfig | None = None,
                            workers: int | None = None) -> Table:
     """Damage with vs. without the innovation gate, per GPS attack.
 
-    ``workers`` is accepted for experiment-interface uniformity; these
-    off-grid runs execute in-process but go through the shared run
-    cache (:func:`~repro.experiments.runner.run_scored`), so repeated
-    campaigns re-simulate nothing.
+    ``workers`` is accepted for experiment-interface uniformity; the
+    whole sweep is declared up front to a
+    :class:`~repro.experiments.plan.ProbePlan` — all (attack, seed,
+    gate) configurations share one scenario/duration compatibility
+    group, so a cold campaign drains as batch-engine lane groups, and
+    everything commits through the shared params-keyed cache so
+    repeated campaigns re-simulate nothing.
     """
     config = config or ExperimentConfig.full()
     table = Table(
@@ -48,25 +51,53 @@ def build_mitigation_table(config: ExperimentConfig | None = None,
                  "damage ratio", "gated goal/progress ok"],
     )
 
+    plan = ProbePlan()
+    sweep: dict[tuple, tuple] = {}
     for attack in ("none",) + _ATTACKS:
-        ungated, gated, ok = [], [], 0
         for seed in config.seeds:
             scenario = standard_scenarios(
                 seed=seed, duration=config.duration)[config.scenario]
-            campaign = standard_attack(attack, onset=config.attack_onset)
             params = {
                 "kind": "mitigation", "scenario": config.scenario,
                 "controller": "pure_pursuit", "attack": attack,
                 "seed": seed, "onset": config.attack_onset,
                 "duration": config.duration, "gate": None,
             }
-            base, _ = run_scored(params, lambda: run_scenario(
-                scenario, controller="pure_pursuit", campaign=campaign))
-            hardened, _ = run_scored(dict(params, gate=_GATE),
-                                     lambda: run_scenario(
-                scenario, controller="pure_pursuit", campaign=campaign,
-                ekf_config=EkfConfig(gate_nis=_GATE),
-            ))
+
+            # Campaigns are built fresh inside every closure: the ungated
+            # and gated runs of one seed can land in the same batch group,
+            # and attack objects carry RNG streams / replay state that a
+            # lane must not share with its neighbour.
+            def campaign(attack=attack):
+                return standard_attack(attack, onset=config.attack_onset)
+
+            def simulate(scenario=scenario, campaign=campaign):
+                return run_scenario(scenario, controller="pure_pursuit",
+                                    campaign=campaign())
+
+            def simulate_gated(scenario=scenario, campaign=campaign):
+                return run_scenario(scenario, controller="pure_pursuit",
+                                    campaign=campaign(),
+                                    ekf_config=EkfConfig(gate_nis=_GATE))
+
+            sweep[(attack, seed)] = (
+                plan.plan_scored(
+                    params, simulate,
+                    lane=lambda scenario=scenario, campaign=campaign:
+                    scenario_lane(scenario, campaign=campaign())),
+                plan.plan_scored(
+                    dict(params, gate=_GATE), simulate_gated,
+                    lane=lambda scenario=scenario, campaign=campaign:
+                    scenario_lane(scenario, campaign=campaign(),
+                                  ekf_config=EkfConfig(gate_nis=_GATE))),
+            )
+
+    for attack in ("none",) + _ATTACKS:
+        ungated, gated, ok = [], [], 0
+        for seed in config.seeds:
+            base_run, gated_run = sweep[(attack, seed)]
+            base, _ = base_run.result()
+            hardened, _ = gated_run.result()
             ungated.append(base.metrics.max_abs_cte)
             gated.append(hardened.metrics.max_abs_cte)
             ok += hardened.metrics.goal_reached

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.attacks.campaign import combined_attack
 from repro.core.diagnosis import diagnose, diagnose_multi
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_scored
+from repro.experiments.plan import ProbePlan, scenario_lane
 from repro.experiments.tables import Table
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import standard_scenarios
@@ -37,10 +37,12 @@ def build_multi_attack_table(config: ExperimentConfig | None = None,
                              workers: int | None = None) -> Table:
     """Top-k coverage of both true causes under concurrent attacks.
 
-    ``workers`` is accepted for experiment-interface uniformity; these
-    off-grid runs execute in-process but go through the shared run
-    cache (:func:`~repro.experiments.runner.run_scored`), so repeated
-    campaigns re-simulate nothing.
+    ``workers`` is accepted for experiment-interface uniformity; the
+    pair x seed sweep is declared up front to a
+    :class:`~repro.experiments.plan.ProbePlan` (every run shares the
+    full-duration scenario compatibility group, so a cold campaign
+    drains as batch-engine lane groups) and commits through the shared
+    params-keyed cache, so repeated campaigns re-simulate nothing.
     """
     config = config or ExperimentConfig.full()
     table = Table(
@@ -50,23 +52,35 @@ def build_multi_attack_table(config: ExperimentConfig | None = None,
                  "multi-cause exact", "fired assertions (union over seeds)"],
     )
 
+    plan = ProbePlan()
+    sweep: dict[tuple, object] = {}
+    for pair in ATTACK_PAIRS:
+        for seed in config.seeds:
+            # Full scenario duration always: slow-drift members of a pair
+            # need time to accumulate their dead-reckoning signature.
+            scenario = standard_scenarios(seed=seed)[config.scenario]
+            campaign = combined_attack(pair, onset=config.attack_onset)
+
+            def simulate(scenario=scenario, campaign=campaign):
+                return run_scenario(scenario, controller="pure_pursuit",
+                                    campaign=campaign)
+
+            sweep[(pair, seed)] = plan.plan_scored(
+                {"kind": "multi_attack", "pair": list(pair),
+                 "scenario": config.scenario, "seed": seed,
+                 "onset": config.attack_onset},
+                simulate,
+                lane=lambda scenario=scenario, campaign=campaign:
+                scenario_lane(scenario, campaign=campaign),
+                group=(config.scenario, None),
+            )
+
     for pair in ATTACK_PAIRS:
         both_top2 = both_top3 = exact = 0
         fired_union: set[str] = set()
         n = 0
         for seed in config.seeds:
-            # Full scenario duration always: slow-drift members of a pair
-            # need time to accumulate their dead-reckoning signature.
-            scenario = standard_scenarios(seed=seed)[config.scenario]
-            _, report = run_scored(
-                {"kind": "multi_attack", "pair": list(pair),
-                 "scenario": config.scenario, "seed": seed,
-                 "onset": config.attack_onset},
-                lambda: run_scenario(
-                    scenario, controller="pure_pursuit",
-                    campaign=combined_attack(pair, onset=config.attack_onset),
-                ),
-            )
+            _, report = sweep[(pair, seed)].result()
             ranking = diagnose(report)
             ranks = [ranking.rank_of(cause) for cause in pair]
             if all(r is not None and r <= 2 for r in ranks):

@@ -20,7 +20,7 @@ import numpy as np
 from repro.attacks.campaign import standard_attack
 from repro.core.diagnosis import diagnose
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_scored
+from repro.experiments.plan import ProbePlan, scenario_lane
 from repro.experiments.tables import Table
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import acc_scenario
@@ -34,10 +34,12 @@ def build_acc_debugging(config: ExperimentConfig | None = None,
                         workers: int | None = None) -> Table:
     """Radar-attack outcomes on the car-following scenario.
 
-    ``workers`` is accepted for experiment-interface uniformity; these
-    off-grid runs execute in-process but go through the shared run
-    cache (:func:`~repro.experiments.runner.run_scored`), so repeated
-    campaigns re-simulate nothing.
+    ``workers`` is accepted for experiment-interface uniformity; the
+    attack x seed sweep is declared up front to a
+    :class:`~repro.experiments.plan.ProbePlan` (all runs share the
+    ``acc_follow`` compatibility group, so a cold campaign drains as
+    batch-engine lane groups) and commits through the shared
+    params-keyed cache, so repeated campaigns re-simulate nothing.
     """
     config = config or ExperimentConfig.full()
     table = Table(
@@ -47,20 +49,30 @@ def build_acc_debugging(config: ExperimentConfig | None = None,
                  "detected", "median latency [s]", "top-1 correct"],
     )
 
+    plan = ProbePlan()
+    sweep: dict[tuple, object] = {}
+    for attack in ("none",) + RADAR_ATTACKS:
+        for seed in config.seeds:
+            scenario = acc_scenario(seed=seed)
+            campaign = standard_attack(attack, onset=config.attack_onset)
+
+            def simulate(scenario=scenario, campaign=campaign):
+                return run_scenario(scenario, campaign=campaign)
+
+            sweep[(attack, seed)] = plan.plan_scored(
+                {"kind": "acc", "attack": attack, "seed": seed,
+                 "onset": config.attack_onset},
+                simulate,
+                lane=lambda scenario=scenario, campaign=campaign:
+                scenario_lane(scenario, campaign=campaign),
+                group=("acc_follow", None),
+            )
+
     for attack in ("none",) + RADAR_ATTACKS:
         min_gaps, headways, latencies = [], [], []
         near_collision = detected = correct = 0
         for seed in config.seeds:
-            scenario = acc_scenario(seed=seed)
-            result, report = run_scored(
-                {"kind": "acc", "attack": attack, "seed": seed,
-                 "onset": config.attack_onset},
-                lambda: run_scenario(
-                    scenario,
-                    campaign=standard_attack(attack,
-                                             onset=config.attack_onset),
-                ),
-            )
+            result, report = sweep[(attack, seed)].result()
             trace = result.trace
             gap = trace.column("gap_true")
             v = trace.column("true_v")

@@ -21,7 +21,7 @@ from repro.control.follower import SpeedProfile, WaypointFollower
 from repro.core.diagnosis import diagnose
 from repro.core.knowledge import defect_knowledge_base
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_scored
+from repro.experiments.plan import ProbePlan, scenario_lane
 from repro.experiments.tables import Table
 from repro.sim.engine import SimulationRunner
 from repro.sim.scenario import standard_scenarios
@@ -40,28 +40,35 @@ DEFECT_PARAMS: dict[str, dict] = {
 _SCENARIO = "s_curve"
 
 
-def _run_with_defect(defect_name: str | None, seed: int):
-    # Full scenario duration always: truncating the run would fire the
-    # A15 liveness check for the wrong reason (goal unreachable in time).
-    scenario = standard_scenarios(seed=seed)[_SCENARIO]
+def _defect_follower(defect_name: str | None, scenario) -> WaypointFollower:
     lateral = make_lateral_controller("pure_pursuit")
     if defect_name is not None:
         lateral = DefectiveController(
             lateral, make_defect(defect_name, **DEFECT_PARAMS[defect_name])
         )
-    follower = WaypointFollower(
+    return WaypointFollower(
         lateral, profile=SpeedProfile(cruise_speed=scenario.cruise_speed)
     )
-    return SimulationRunner(scenario, follower).run()
+
+
+def _run_with_defect(defect_name: str | None, seed: int):
+    # Full scenario duration always: truncating the run would fire the
+    # A15 liveness check for the wrong reason (goal unreachable in time).
+    scenario = standard_scenarios(seed=seed)[_SCENARIO]
+    return SimulationRunner(scenario,
+                            _defect_follower(defect_name, scenario)).run()
 
 
 def build_defect_debugging(config: ExperimentConfig | None = None,
                            workers: int | None = None) -> Table:
     """Defect detection + identification table.
 
-    ``workers`` is accepted for experiment-interface uniformity; these
-    off-grid runs execute in-process but go through the shared run
-    cache (:func:`~repro.experiments.runner.run_scored`), so repeated
+    ``workers`` is accepted for experiment-interface uniformity; the
+    defect x seed sweep is declared up front to a
+    :class:`~repro.experiments.plan.ProbePlan` — defective controllers
+    are not vectorizable, so these run as per-lane *object* lanes inside
+    the lockstep batch, still one simulation pass per compatible group —
+    and commits through the shared params-keyed cache, so repeated
     campaigns re-simulate nothing.
     """
     config = config or ExperimentConfig.full()
@@ -74,17 +81,33 @@ def build_defect_debugging(config: ExperimentConfig | None = None,
                  "dominant assertions"],
     )
 
+    plan = ProbePlan()
+    sweep: dict[tuple, object] = {}
+    for defect_name in [None] + list(DEFECT_CLASSES):
+        for seed in config.seeds:
+            scenario = standard_scenarios(seed=seed)[_SCENARIO]
+
+            def simulate(defect_name=defect_name, seed=seed):
+                return _run_with_defect(defect_name, seed)
+
+            sweep[(defect_name, seed)] = plan.plan_scored(
+                {"kind": "defect", "defect": defect_name or "none",
+                 "defect_params": DEFECT_PARAMS.get(defect_name, {}),
+                 "scenario": _SCENARIO, "seed": seed},
+                simulate,
+                lane=lambda defect_name=defect_name, scenario=scenario:
+                scenario_lane(scenario,
+                              follower=_defect_follower(defect_name,
+                                                        scenario)),
+                group=(_SCENARIO, None),
+            )
+
     for defect_name in [None] + list(DEFECT_CLASSES):
         detected = correct = 0
         damages = []
         fired_union: set[str] = set()
         for seed in config.seeds:
-            result, report = run_scored(
-                {"kind": "defect", "defect": defect_name or "none",
-                 "defect_params": DEFECT_PARAMS.get(defect_name, {}),
-                 "scenario": _SCENARIO, "seed": seed},
-                lambda: _run_with_defect(defect_name, seed),
-            )
+            result, report = sweep[(defect_name, seed)].result()
             ranking = diagnose(report, kb)
             truth = defect_name or "none"
             if truth == "none":

@@ -89,6 +89,7 @@ __all__ = [
     "scored_store",
     "clear_cache",
     "resolve_executor",
+    "choose_sim_engine",
     "resolve_sim_engine",
     "resolve_workers",
     "set_memo_limit",
@@ -229,6 +230,33 @@ def resolve_sim_engine(engine: str | None = None) -> str:
             f"unknown simulation engine {engine!r}; "
             "expected 'serial' or 'batch'")
     return engine
+
+
+def choose_sim_engine(engine: str | None = None,
+                      pending: int = 0) -> tuple[str, str]:
+    """Effective engine *and why*: argument > ``ADASSURE_SIM`` > auto.
+
+    Auto selects the lockstep batch engine whenever at least two runs
+    are actually pending and NumPy imports (the batch engine is
+    array-native); otherwise serial.  ``ADASSURE_SIM=serial`` is the
+    opt-out.  Returns ``(engine, reason)`` — the reason lands in
+    ``GridStats.sim_engine_reason`` so ``--stats`` shows how the engine
+    was picked.  :func:`resolve_sim_engine` keeps the historical
+    serial-unless-asked contract for callers that need it (the
+    distributed executor ships the engine name to its workers).
+    """
+    if engine is not None:
+        return resolve_sim_engine(engine), "engine argument"
+    env = os.environ.get("ADASSURE_SIM", "").strip()
+    if env:
+        return resolve_sim_engine(env), "ADASSURE_SIM"
+    if pending < 2:
+        return "serial", f"auto: {pending} pending run(s)"
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy ships with the repo
+        return "serial", "auto: numpy unavailable"
+    return "batch", f"auto: {pending} pending run(s)"
 
 
 def _batch_lanes() -> int:
@@ -585,7 +613,6 @@ def run_grid(
         # survivors, dead-fleet remainders, first-failure points) fall
         # back to the terminal serial executor, which owns retries and
         # quarantine and always converges.
-        stats.sim_engine = resolve_sim_engine(sim_engine)
         mode = resolve_executor(executor)
         if mode == "distributed" and cache is None:
             warnings.warn(
@@ -594,6 +621,13 @@ def run_grid(
                 "falling back to the single-host executor chain",
                 RuntimeWarning, stacklevel=2)
             mode = "auto"
+        if mode == "distributed":
+            # Distributed workers resolve their own engine from the shard
+            # spec; auto-selection stays a local-chain concern.
+            stats.sim_engine = resolve_sim_engine(sim_engine)
+        else:
+            stats.sim_engine, stats.sim_engine_reason = choose_sim_engine(
+                sim_engine, len(pending))
         items = [(point, 0) for point in pending]
 
         if mode == "distributed" and items:

@@ -62,6 +62,22 @@ class GridStats:
     """Points simulated inside those batched groups."""
     batch_fallbacks: int = 0
     """Groups the batch engine rejected back to the serial/pool path."""
+    sim_engine_reason: str = ""
+    """Why that engine was chosen: explicit, env, or the auto heuristic."""
+    planned: int = 0
+    """Off-grid runs declared to a :class:`~repro.experiments.plan.ProbePlan`."""
+    plan_batched: int = 0
+    """Planned runs simulated inside batch-engine lane groups."""
+    plan_fallbacks: int = 0
+    """Planned groups the batch engine rejected back to serial execution."""
+    speculative_issued: int = 0
+    """Probe lanes simulated ahead of need by speculative prefetch."""
+    speculative_wasted: int = 0
+    """Speculative lanes the search never consumed (issued - used)."""
+    dare_memo_hits: int = 0
+    """Cross-call LQR DARE gain lookups served from the module memo."""
+    dare_memo_solves: int = 0
+    """DARE solves the module memo could not avoid."""
     pool_policy: str = "serial"
     """How the classic executor ran: pool, serial, serial-single-core,
     distributed."""
@@ -123,6 +139,15 @@ class GridStats:
         self.batch_groups += other.batch_groups
         self.batch_points += other.batch_points
         self.batch_fallbacks += other.batch_fallbacks
+        if other.sim_engine_reason:
+            self.sim_engine_reason = other.sim_engine_reason
+        self.planned += other.planned
+        self.plan_batched += other.plan_batched
+        self.plan_fallbacks += other.plan_fallbacks
+        self.speculative_issued += other.speculative_issued
+        self.speculative_wasted += other.speculative_wasted
+        self.dare_memo_hits += other.dare_memo_hits
+        self.dare_memo_solves += other.dare_memo_solves
         if other.pool_policy != "serial":
             self.pool_policy = other.pool_policy
         if other.executor != "local":
@@ -159,6 +184,14 @@ class GridStats:
             "batch_groups": self.batch_groups,
             "batch_points": self.batch_points,
             "batch_fallbacks": self.batch_fallbacks,
+            "sim_engine_reason": self.sim_engine_reason,
+            "planned": self.planned,
+            "plan_batched": self.plan_batched,
+            "plan_fallbacks": self.plan_fallbacks,
+            "speculative_issued": self.speculative_issued,
+            "speculative_wasted": self.speculative_wasted,
+            "dare_memo_hits": self.dare_memo_hits,
+            "dare_memo_solves": self.dare_memo_solves,
             "pool_policy": self.pool_policy,
             "executor": self.executor,
             "dist_workers": self.dist_workers,
@@ -186,7 +219,9 @@ class GridStats:
             f"(chunk {self.chunk_size})  "
             f"utilization {100.0 * self.worker_utilization:.1f}%",
             f"engine      : {self.sim_engine}  "
-            f"(pool policy {self.pool_policy})",
+            f"(pool policy {self.pool_policy}"
+            + (f"; {self.sim_engine_reason}" if self.sim_engine_reason
+               else "") + ")",
             f"wall time   : {self.wall_time:.2f}s  "
             f"(busy {self.busy_time:.2f}s)",
         ]
@@ -197,6 +232,22 @@ class GridStats:
                 f"batched     : {self.batch_points} point(s) in "
                 f"{self.batch_groups} group(s), "
                 f"{self.batch_fallbacks} fallback(s)"
+            )
+        if self.planned or self.plan_fallbacks:
+            lines.append(
+                f"planned     : {self.planned} run(s) declared, "
+                f"{self.plan_batched} batched, "
+                f"{self.plan_fallbacks} group fallback(s)"
+            )
+        if self.speculative_issued or self.speculative_wasted:
+            lines.append(
+                f"speculative : {self.speculative_issued} lane(s) issued, "
+                f"{self.speculative_wasted} wasted"
+            )
+        if self.dare_memo_hits or self.dare_memo_solves:
+            lines.append(
+                f"dare memo   : {self.dare_memo_hits} hit(s), "
+                f"{self.dare_memo_solves} solve(s)"
             )
         if self.executor == "distributed" or self.shards_total:
             lines.append(

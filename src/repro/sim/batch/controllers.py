@@ -126,6 +126,24 @@ class _BatchStanley:
         )
 
 
+_SHARED_DARE_GAINS: dict[tuple, np.ndarray] = {}
+"""Process-wide LQR DARE gain memo.  The gain is a deterministic pure
+function of (weights, wheelbase, quantized speed, dt), so lanes — and
+whole successive batch calls — with identical controller parameters can
+share one solve and still match each serial instance's private cache bit
+for bit.  Module scope (rather than per-``_BatchLqr``) makes the memo
+survive across batch groups within a campaign."""
+
+_DARE_MEMO = {"hits": 0, "solves": 0}
+"""Process-lifetime reuse counters for :data:`_SHARED_DARE_GAINS`
+(``--stats`` snapshots deltas into ``GridStats.dare_memo_*``)."""
+
+
+def dare_memo_counters() -> dict[str, int]:
+    """Snapshot of the DARE memo's process-lifetime hit/solve counters."""
+    return dict(_DARE_MEMO)
+
+
 class _BatchLqr:
     def __init__(self, controllers: list[LqrController], route: BatchRoute):
         self.route = route
@@ -137,11 +155,6 @@ class _BatchLqr:
         self.hint = np.zeros(n)
         self.has_hint = np.zeros(n, dtype=bool)
         self._all = np.ones(n, dtype=bool)
-        # Cross-lane gain memo.  The DARE gain is a deterministic pure
-        # function of (weights, wheelbase, quantized speed, dt), so lanes
-        # with identical controller parameters can share one solve and
-        # still match each serial instance's private cache bit for bit.
-        self._shared_gains: dict[tuple, np.ndarray] = {}
 
     def _lane_gain(self, controller: LqrController, speed: float,
                    dt: float) -> np.ndarray:
@@ -150,12 +163,15 @@ class _BatchLqr:
         key = (
             int(round(v / quantum)), int(round(dt * 1e4)),
             controller.wheelbase,
-            controller.q[0, 0], controller.q[1, 1], controller.r[0, 0],
+            controller.q.tobytes(), controller.r.tobytes(),
         )
-        gain = self._shared_gains.get(key)
+        gain = _SHARED_DARE_GAINS.get(key)
         if gain is None:
             gain = controller._gain(speed, dt)  # noqa: SLF001
-            self._shared_gains[key] = gain
+            _SHARED_DARE_GAINS[key] = gain
+            _DARE_MEMO["solves"] += 1
+        else:
+            _DARE_MEMO["hits"] += 1
         return gain
 
     def compute(self, x, y, yaw, v, dt):

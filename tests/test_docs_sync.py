@@ -134,3 +134,41 @@ class TestCounterfactualDoc:
         design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
         assert "counterfactual.py" in design
         assert "docs/counterfactual.md" in design
+
+    def test_round_batching_documented(self, doc):
+        # The speculative-prefetch layer and its accounting counters.
+        assert "Round-batched speculation" in doc
+        for counter in ("speculative_issued", "speculative_wasted",
+                        "batch_groups", "dare_memo_hits"):
+            assert counter in doc, f"{counter} missing from docs"
+        assert "BENCH_probes.json" in doc
+        assert "planner.md" in doc
+
+
+class TestPlannerDoc:
+    @pytest.fixture(scope="class")
+    def doc(self) -> str:
+        return (ROOT / "docs" / "planner.md").read_text(encoding="utf-8")
+
+    def test_api_surface_documented(self, doc):
+        from repro.experiments import plan
+
+        for name in ("ProbePlan", "scenario_lane", "PlannedRun"):
+            assert hasattr(plan, name), f"plan.{name} gone but documented"
+            assert name in doc, f"{name} missing from docs/planner.md"
+        assert hasattr(plan.ProbePlan, "plan_scored")
+        assert "plan_scored" in doc
+
+    def test_counters_documented(self, doc):
+        for counter in ("planned", "plan_batched", "plan_fallbacks",
+                        "dare_memo_hits", "dare_memo_solves"):
+            assert counter in doc, f"{counter} missing from docs/planner.md"
+
+    def test_cross_links_resolve(self, doc, readme):
+        assert "docs/planner.md" in readme
+        assert "counterfactual.md" in doc
+        assert (ROOT / "tests" / "test_probe_batching.py").exists()
+        assert "tests/test_probe_batching.py" in doc
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        assert "plan.py" in design
+        assert "docs/planner.md" in design

@@ -30,6 +30,13 @@ TINY = ExperimentConfig(
 )
 
 
+@pytest.fixture(autouse=True)
+def serial_engine(monkeypatch):
+    """Pin the serial engine so the ``workers=4`` passes genuinely reach
+    the process pool instead of the auto-selected batch prepass."""
+    monkeypatch.setenv("ADASSURE_SIM", "serial")
+
+
 @pytest.fixture()
 def no_cache(monkeypatch):
     """Memo cleared, disk layer off — every pass simulates from scratch."""

@@ -50,6 +50,14 @@ def _hang_first_gps_bias(point):
     return _REAL_EXECUTE(point)
 
 
+@pytest.fixture(autouse=True)
+def serial_engine(monkeypatch):
+    """Pin the serial engine: every test here sabotages
+    ``runner._execute_point``, which the auto-selected batch prepass
+    would legitimately bypass."""
+    monkeypatch.setenv("ADASSURE_SIM", "serial")
+
+
 @pytest.fixture()
 def no_cache(monkeypatch):
     monkeypatch.setenv("ADASSURE_CACHE", "0")

@@ -355,6 +355,9 @@ class TestGridRunnerEquivalence:
         from repro.experiments.stats import STATS
         monkeypatch.setenv("ADASSURE_CACHE_DIR", str(tmp_path))
         monkeypatch.setenv("ADASSURE_WORKERS", "4")
+        # Pin serial: the auto-batch prepass would consume both points
+        # before the pool-vs-serial decision this test is about.
+        monkeypatch.setenv("ADASSURE_SIM", "serial")
         monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 1)
 
         grid = dict(scenarios=("straight",), controllers=("pure_pursuit",),
